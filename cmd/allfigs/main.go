@@ -1,0 +1,233 @@
+// Command allfigs regenerates every table and figure of the paper in one
+// run, printing each experiment's rows in sequence. This is the harness
+// behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	allfigs [-scale default|tiny] [-ablations] [-outdir DIR]
+//
+// With -outdir, each section is additionally written to DIR/<name>.txt and
+// the plottable series (Fig. 2 drift curves, Fig. 10 Gantt spans) to CSV
+// files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hclocksync/internal/experiments"
+)
+
+type runner struct {
+	tiny   bool
+	outdir string
+}
+
+func main() {
+	scale := flag.String("scale", "default", "default or tiny")
+	ablations := flag.Bool("ablations", false, "also run the ablation studies and extensions")
+	outdir := flag.String("outdir", "", "also write per-section .txt/.csv artifacts to this directory")
+	flag.Parse()
+
+	r := runner{tiny: *scale == "tiny", outdir: *outdir}
+	if r.outdir != "" {
+		if err := os.MkdirAll(r.outdir, 0o755); err != nil {
+			fail("outdir", err)
+		}
+	}
+	start := time.Now()
+
+	r.section("table1", "Table I — machines", func(w io.Writer) error {
+		experiments.Table1(w)
+		return nil
+	})
+
+	cfg2 := pick(r.tiny, experiments.TinyFig2Config, experiments.DefaultFig2Config)
+	res2, err := experiments.RunFig2(cfg2)
+	if err != nil {
+		fail("fig2", err)
+	}
+	r.section("fig2", "Fig. 2 — clock drift", func(w io.Writer) error {
+		res2.Print(w)
+		return nil
+	})
+	r.artifact("fig2_series.csv", func(w io.Writer) error {
+		res2.PrintSeries(w)
+		return nil
+	})
+
+	syncFigs := []struct {
+		name, title string
+		tiny, def   func() experiments.SyncAccuracyConfig
+	}{
+		{"fig3", "Fig. 3 — HCA/HCA2/HCA3/JK accuracy vs duration",
+			experiments.TinyFig3Config, experiments.DefaultFig3Config},
+		{"fig4", "Fig. 4 — HCA3 vs H2HCA, Jupiter",
+			experiments.TinyFig4Config, experiments.DefaultFig4Config},
+		{"fig5", "Fig. 5 — HCA3 vs H2HCA, Hydra",
+			experiments.TinyFig5Config, experiments.DefaultFig5Config},
+		{"fig6", "Fig. 6 — HCA3 vs H2HCA, Titan",
+			experiments.TinyFig6Config, experiments.DefaultFig6Config},
+	}
+	for _, f := range syncFigs {
+		cfg := pick(r.tiny, f.tiny, f.def)
+		res, err := experiments.RunSyncAccuracy(cfg)
+		if err != nil {
+			fail(f.name, err)
+		}
+		r.section(f.name, f.title, func(w io.Writer) error {
+			res.Print(w)
+			return nil
+		})
+	}
+
+	cfg7 := pick(r.tiny, experiments.TinyFig7Config, experiments.DefaultFig7Config)
+	res7, err := experiments.RunFig7(cfg7)
+	if err != nil {
+		fail("fig7", err)
+	}
+	r.section("fig7", "Fig. 7 — benchmark suite x barrier algorithm", func(w io.Writer) error {
+		res7.Print(w)
+		return nil
+	})
+
+	cfg8 := pick(r.tiny, experiments.TinyFig8Config, experiments.DefaultFig8Config)
+	res8, err := experiments.RunFig8(cfg8)
+	if err != nil {
+		fail("fig8", err)
+	}
+	r.section("fig8", "Fig. 8 — barrier exit imbalance", func(w io.Writer) error {
+		res8.Print(w)
+		res8.PrintHistograms(w, 12)
+		return nil
+	})
+
+	cfg9 := pick(r.tiny, experiments.TinyFig9Config, experiments.DefaultFig9Config)
+	res9, err := experiments.RunFig9(cfg9)
+	if err != nil {
+		fail("fig9", err)
+	}
+	r.section("fig9", "Fig. 9 — OSU vs Round-Time across message sizes", func(w io.Writer) error {
+		res9.Print(w)
+		return nil
+	})
+
+	cfg10 := pick(r.tiny, experiments.TinyFig10Config, experiments.DefaultFig10Config)
+	res10, err := experiments.RunFig10(cfg10)
+	if err != nil {
+		fail("fig10", err)
+	}
+	r.section("fig10", "Fig. 10 — AMG2013 trace Gantt", func(w io.Writer) error {
+		res10.Print(w)
+		return nil
+	})
+	r.artifact("fig10_spans.csv", res10.WriteCSV)
+
+	if *ablations {
+		r.runAblations()
+		r.runExtensions()
+	}
+
+	fmt.Printf("\nall experiments completed in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func (r runner) runAblations() {
+	n, nfit, nexch, runs := 16, 60, 15, 3
+	if r.tiny {
+		n, nfit, nexch, runs = 8, 30, 10, 2
+	}
+	a1, err := experiments.AblationJKOffsetAlg(n, nfit, nexch, runs)
+	if err != nil {
+		fail("ablation jk", err)
+	}
+	a2, err := experiments.AblationRecomputeIntercept(n, nfit, nexch, runs)
+	if err != nil {
+		fail("ablation recompute", err)
+	}
+	horizon := 200.0
+	if r.tiny {
+		horizon = 60
+	}
+	w1, w0, err := experiments.AblationWander(6, horizon)
+	if err != nil {
+		fail("ablation wander", err)
+	}
+	r.section("ablations", "Ablations", func(w io.Writer) error {
+		experiments.PrintAblation(w, "JK offset algorithm (paper III-C3 side-finding)", a1)
+		experiments.PrintAblation(w, "recompute_intercept (Alg. 2)", a2)
+		fmt.Fprintf(w, "Ablation: skew wander (drift linearity over %.0f s)\n", horizon)
+		fmt.Fprintf(w, "  wander ON  (realistic clocks):     mean full-horizon R² = %.6f\n",
+			experiments.MeanFullR2(w1))
+		fmt.Fprintf(w, "  wander OFF (perfectly linear):     mean full-horizon R² = %.6f\n",
+			experiments.MeanFullR2(w0))
+		return nil
+	})
+}
+
+func (r runner) runExtensions() {
+	da, err := experiments.RunDriftAware(experiments.DefaultDriftAwareConfig())
+	if err != nil {
+		fail("driftaware", err)
+	}
+	wl, err := experiments.RunWindowLoss(experiments.DefaultWindowLossConfig())
+	if err != nil {
+		fail("windowloss", err)
+	}
+	tc, err := experiments.RunTraceCorrection(experiments.DefaultTraceCorrectionConfig())
+	if err != nil {
+		fail("tracecorrection", err)
+	}
+	tu, err := experiments.RunTuning(experiments.DefaultTuningConfig())
+	if err != nil {
+		fail("tuning", err)
+	}
+	r.section("extensions", "Extensions beyond the paper's figures", func(w io.Writer) error {
+		da.Print(w)
+		wl.Print(w)
+		tc.Print(w)
+		tu.Print(w)
+		return nil
+	})
+}
+
+// section prints a titled block to stdout and, with -outdir, to name.txt.
+func (r runner) section(name, title string, emit func(io.Writer) error) {
+	fmt.Printf("\n==================== %s ====================\n", title)
+	if err := emit(os.Stdout); err != nil {
+		fail(name, err)
+	}
+	if r.outdir != "" {
+		r.artifact(name+".txt", emit)
+	}
+}
+
+// artifact writes one file into -outdir (no-op when unset).
+func (r runner) artifact(name string, emit func(io.Writer) error) {
+	if r.outdir == "" {
+		return
+	}
+	f, err := os.Create(filepath.Join(r.outdir, name))
+	if err != nil {
+		fail(name, err)
+	}
+	defer f.Close()
+	if err := emit(f); err != nil {
+		fail(name, err)
+	}
+}
+
+func pick[T any](tiny bool, tinyFn, defFn func() T) T {
+	if tiny {
+		return tinyFn()
+	}
+	return defFn()
+}
+
+func fail(name string, err error) {
+	fmt.Fprintf(os.Stderr, "allfigs: %s: %v\n", name, err)
+	os.Exit(1)
+}

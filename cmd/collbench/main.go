@@ -1,0 +1,68 @@
+// Command collbench regenerates the collective-benchmarking experiments:
+// Fig. 7 (Allreduce latency by benchmark suite × barrier algorithm) and
+// Fig. 9 (OSU vs ReproMPI Round-Time across message sizes).
+//
+// Usage:
+//
+//	collbench [-fig 7|9] [-rep N] [-runs N] [-scale default|tiny] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hclocksync/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 7, "paper figure to regenerate (7 or 9)")
+	rep := flag.Int("rep", 0, "override repetitions per measurement")
+	runs := flag.Int("runs", 0, "override mpiruns (fig 9)")
+	scale := flag.String("scale", "default", "default or tiny")
+	seed := flag.Int64("seed", 0, "override the simulation seed")
+	flag.Parse()
+
+	switch *fig {
+	case 7:
+		cfg := experiments.DefaultFig7Config()
+		if *scale == "tiny" {
+			cfg = experiments.TinyFig7Config()
+		}
+		if *rep > 0 {
+			cfg.NRep = *rep
+		}
+		if *seed != 0 {
+			cfg.Job.Seed = *seed
+		}
+		res, err := experiments.RunFig7(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "collbench:", err)
+			os.Exit(1)
+		}
+		res.Print(os.Stdout)
+	case 9:
+		cfg := experiments.DefaultFig9Config()
+		if *scale == "tiny" {
+			cfg = experiments.TinyFig9Config()
+		}
+		if *rep > 0 {
+			cfg.NRep = *rep
+		}
+		if *runs > 0 {
+			cfg.NRuns = *runs
+		}
+		if *seed != 0 {
+			cfg.Job.Seed = *seed
+		}
+		res, err := experiments.RunFig9(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "collbench:", err)
+			os.Exit(1)
+		}
+		res.Print(os.Stdout)
+	default:
+		fmt.Fprintln(os.Stderr, "collbench: -fig must be 7 or 9")
+		os.Exit(2)
+	}
+}

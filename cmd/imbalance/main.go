@@ -1,0 +1,39 @@
+// Command imbalance regenerates the barrier exit-imbalance experiment of
+// the paper's Fig. 8: with a precise global clock, ranks enter MPI_Barrier
+// simultaneously and record when each leaves; the skew between the first
+// and the last exit is the barrier implementation's imbalance.
+//
+// Usage:
+//
+//	imbalance [-calls 500] [-runs 5] [-seed S] [-hist]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hclocksync/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultFig8Config()
+	calls := flag.Int("calls", cfg.NCalls, "barrier calls per mpirun")
+	runs := flag.Int("runs", cfg.NRuns, "mpiruns")
+	seed := flag.Int64("seed", cfg.Job.Seed, "simulation seed")
+	hist := flag.Bool("hist", false, "also print per-barrier ASCII histograms")
+	flag.Parse()
+
+	cfg.NCalls = *calls
+	cfg.NRuns = *runs
+	cfg.Job.Seed = *seed
+	res, err := experiments.RunFig8(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imbalance:", err)
+		os.Exit(1)
+	}
+	res.Print(os.Stdout)
+	if *hist {
+		res.PrintHistograms(os.Stdout, 12)
+	}
+}

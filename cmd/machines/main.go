@@ -1,0 +1,16 @@
+// Command machines prints the modelled machine inventory (paper Table I).
+//
+// Usage:
+//
+//	machines
+package main
+
+import (
+	"os"
+
+	"hclocksync/internal/experiments"
+)
+
+func main() {
+	experiments.Table1(os.Stdout)
+}

@@ -1,0 +1,88 @@
+// Command reprompi is a ReproMPI-style MPI benchmarking tool for the
+// simulated cluster: pick a machine, a collective, message sizes, a
+// measurement scheme (barrier / window / Round-Time), and a clock
+// synchronization algorithm, and get a latency summary table.
+//
+// Examples:
+//
+//	reprompi -machine jupiter -procs 64 -op allreduce -msizes 4,8,16,64 \
+//	         -scheme roundtime -sync h2hca -nrep 100
+//	reprompi -machine titan -procs 128 -op alltoall -scheme barrier -barrier tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hclocksync/internal/clocksync"
+	"hclocksync/internal/cluster"
+	"hclocksync/internal/experiments"
+)
+
+func main() {
+	machine := flag.String("machine", "jupiter", "machine preset: jupiter, hydra, titan")
+	procs := flag.Int("procs", 64, "number of MPI ranks")
+	op := flag.String("op", "allreduce", "collective: allreduce, alltoall, bcast, barrier")
+	msizes := flag.String("msizes", "8", "comma-separated message sizes in bytes")
+	scheme := flag.String("scheme", "roundtime", "measurement scheme: barrier, window, roundtime")
+	barrier := flag.String("barrier", "tree", "barrier algorithm for the barrier scheme")
+	syncAlg := flag.String("sync", "h2hca", "clock sync: hca, hca2, hca3, jk, h2hca, h3hca, skampi")
+	nfit := flag.Int("nfit", 150, "fit points per clock model")
+	nexch := flag.Int("nexch", 20, "ping-pongs per offset measurement")
+	nrep := flag.Int("nrep", 50, "repetitions (or max repetitions for roundtime)")
+	slice := flag.Float64("slice", 0.05, "roundtime time slice in seconds")
+	window := flag.Float64("window", 0, "window size in seconds (0 = 4x estimate)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "reprompi:", err)
+		os.Exit(1)
+	}
+	spec, err := experiments.ParseMachine(*machine)
+	if err != nil {
+		die(err)
+	}
+	ba, err := experiments.ParseBarrierAlg(*barrier)
+	if err != nil {
+		die(err)
+	}
+	sa, err := experiments.ParseSyncAlg(*syncAlg, clocksync.Params{
+		NFitpoints: *nfit,
+		Offset:     clocksync.SKaMPIOffset{NExchanges: *nexch},
+	})
+	if err != nil {
+		die(err)
+	}
+	var sizes []int
+	for _, tok := range strings.Split(*msizes, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v <= 0 {
+			die(fmt.Errorf("bad message size %q", tok))
+		}
+		sizes = append(sizes, v)
+	}
+	res, err := experiments.RunCustom(experiments.CustomConfig{
+		Job: experiments.Job{
+			Spec:    spec,
+			NProcs:  *procs,
+			Mapping: cluster.MapBlock,
+			Seed:    *seed,
+		},
+		Operation: *op,
+		MSizes:    sizes,
+		Scheme:    *scheme,
+		NRep:      *nrep,
+		Window:    *window,
+		TimeSlice: *slice,
+		Sync:      sa,
+		Barrier:   ba,
+	})
+	if err != nil {
+		die(err)
+	}
+	res.Print(os.Stdout)
+}

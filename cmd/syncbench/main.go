@@ -1,0 +1,74 @@
+// Command syncbench regenerates the clock-synchronization accuracy
+// experiments of the paper's Figs. 3–6: for each algorithm and mpirun it
+// reports the synchronization duration and the maximum clock offset right
+// after synchronization and again after a waiting period.
+//
+// Usage:
+//
+//	syncbench [-fig 3|4|5|6] [-runs N] [-wait 10] [-scale default|tiny] [-seed S]
+//
+// -fig selects the paper figure: 3 compares HCA/HCA2/HCA3/JK on Jupiter;
+// 4–6 compare flat HCA3 against the hierarchical H2HCA on Jupiter, Hydra,
+// and Titan respectively. Scales are reduced from the paper's testbeds; see
+// DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hclocksync/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 3, "paper figure to regenerate (3, 4, 5, or 6)")
+	runs := flag.Int("runs", 0, "override the number of mpiruns")
+	wait := flag.Float64("wait", 0, "override the wait time (seconds)")
+	scale := flag.String("scale", "default", "default or tiny")
+	seed := flag.Int64("seed", 0, "override the simulation seed")
+	flag.Parse()
+
+	var cfg experiments.SyncAccuracyConfig
+	switch *fig {
+	case 3:
+		cfg = experiments.DefaultFig3Config()
+		if *scale == "tiny" {
+			cfg = experiments.TinyFig3Config()
+		}
+	case 4:
+		cfg = experiments.DefaultFig4Config()
+		if *scale == "tiny" {
+			cfg = experiments.TinyFig4Config()
+		}
+	case 5:
+		cfg = experiments.DefaultFig5Config()
+		if *scale == "tiny" {
+			cfg = experiments.TinyFig5Config()
+		}
+	case 6:
+		cfg = experiments.DefaultFig6Config()
+		if *scale == "tiny" {
+			cfg = experiments.TinyFig6Config()
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "syncbench: -fig must be 3, 4, 5, or 6")
+		os.Exit(2)
+	}
+	if *runs > 0 {
+		cfg.NRuns = *runs
+	}
+	if *wait > 0 {
+		cfg.WaitTime = *wait
+	}
+	if *seed != 0 {
+		cfg.Job.Seed = *seed
+	}
+	res, err := experiments.RunSyncAccuracy(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "syncbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("(paper Fig. %d)\n", *fig)
+	res.Print(os.Stdout)
+}

@@ -1,0 +1,50 @@
+// Command traceamg regenerates the tracing case study of the paper's
+// Fig. 10: the AMG2013 proxy app is traced four ways — {global, local}
+// clock × {clock_gettime, gettimeofday} — and the Gantt rows of one
+// MPI_Allreduce iteration are reported.
+//
+// Usage:
+//
+//	traceamg [-iter 10] [-csv] [-scale default|tiny] [-seed S]
+//
+// With -csv the normalized per-rank spans of every panel are emitted for
+// external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hclocksync/internal/experiments"
+)
+
+func main() {
+	iter := flag.Int("iter", 10, "which Allreduce iteration to display")
+	csv := flag.Bool("csv", false, "emit normalized spans as CSV")
+	scale := flag.String("scale", "default", "default or tiny")
+	seed := flag.Int64("seed", 0, "override the simulation seed")
+	flag.Parse()
+
+	cfg := experiments.DefaultFig10Config()
+	if *scale == "tiny" {
+		cfg = experiments.TinyFig10Config()
+	}
+	cfg.Iteration = *iter
+	if *seed != 0 {
+		cfg.Job.Seed = *seed
+	}
+	res, err := experiments.RunFig10(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceamg:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		if err := res.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "traceamg:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	res.Print(os.Stdout)
+}

@@ -1,0 +1,37 @@
+// Command tune runs the PGMPITuneLib-style case study behind the paper's
+// motivation: measure all candidate MPI_Allreduce implementations under
+// different measurement configurations (Round-Time vs OSU-style loops with
+// different barriers) and report which candidate each configuration would
+// install — demonstrating that barrier-based tuning can pick a different
+// "best" algorithm than the unbiased Round-Time measurement.
+//
+// Usage:
+//
+//	tune [-procs 64] [-rep 30] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hclocksync/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultTuningConfig()
+	procs := flag.Int("procs", cfg.Job.NProcs, "number of ranks")
+	rep := flag.Int("rep", cfg.NRep, "repetitions per candidate and size")
+	seed := flag.Int64("seed", cfg.Job.Seed, "simulation seed")
+	flag.Parse()
+
+	cfg.Job.NProcs = *procs
+	cfg.NRep = *rep
+	cfg.Job.Seed = *seed
+	res, err := experiments.RunTuning(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tune:", err)
+		os.Exit(1)
+	}
+	res.Print(os.Stdout)
+}

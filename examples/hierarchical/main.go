@@ -1,0 +1,68 @@
+// Hierarchical: compare flat HCA3 against the paper's hierarchical schemes
+// H2HCA (HCA3 between nodes + clock propagation inside each node) and
+// H3HCA (an extra per-socket level, for machines whose sockets have
+// distinct time sources).
+//
+// Run with:
+//
+//	go run ./examples/hierarchical
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hclocksync/internal/clock"
+	"hclocksync/internal/clocksync"
+	"hclocksync/internal/cluster"
+	"hclocksync/internal/mpi"
+)
+
+func measure(spec cluster.MachineSpec, nprocs int, alg clocksync.Algorithm) (dur, at0, at10 float64) {
+	err := mpi.Run(mpi.Config{Spec: spec, NProcs: nprocs, Seed: 7}, func(p *mpi.Proc) {
+		start := p.TrueNow()
+		g := alg.Sync(p.World(), clock.NewLocal(p))
+		d := p.World().AllreduceF64(p.TrueNow()-start, mpi.OpMax)
+		samples := clocksync.CheckAccuracy(p.World(), g, clocksync.CheckConfig{
+			Offset:   clocksync.SKaMPIOffset{NExchanges: 10},
+			WaitTime: 10,
+		})
+		if p.Rank() == 0 {
+			dur = d
+			at0, at10 = clocksync.MaxAbsOffsets(samples)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return dur, at0, at10
+}
+
+func main() {
+	params := clocksync.Params{
+		NFitpoints: 120,
+		Offset:     clocksync.SKaMPIOffset{NExchanges: 15},
+	}
+
+	// Node-level shared clocks (the common case): H2HCA applies.
+	spec := cluster.Jupiter()
+	spec.Nodes, spec.CoresPerSocket = 12, 4 // 12 nodes x 8 cores = 96 ranks
+	fmt.Printf("machine: %s-like, %d nodes x %d cores, node-level time source\n\n",
+		spec.Name, spec.Nodes, spec.CoresPerNode())
+	fmt.Printf("%-60s %10s %12s %12s\n", "algorithm", "dur[s]", "off@0s[us]", "off@10s[us]")
+	for _, alg := range []clocksync.Algorithm{
+		clocksync.HCA3{Params: params},
+		clocksync.NewH2HCA(clocksync.HCA3{Params: params}),
+	} {
+		dur, a0, a10 := measure(spec, 96, alg)
+		fmt.Printf("%-60s %10.4f %12.3f %12.3f\n", alg.Name(), dur, a0*1e6, a10*1e6)
+	}
+
+	// Socket-level time sources: ClockPropSync would be incorrect across
+	// sockets, so H3HCA inserts a measuring level per socket.
+	spec.ClockDomain = cluster.DomainSocket
+	fmt.Printf("\nsame machine with per-socket time sources (H3HCA territory)\n")
+	h3 := clocksync.NewH3HCA(clocksync.HCA3{Params: params}, clocksync.HCA3{Params: params})
+	dur, a0, a10 := measure(spec, 96, h3)
+	fmt.Printf("%-60s %10.4f %12.3f %12.3f\n", h3.Name(), dur, a0*1e6, a10*1e6)
+}

@@ -1,0 +1,57 @@
+// Quickstart: synchronize clocks on a simulated cluster with HCA3 and see
+// how precise the logical global clock is — right after synchronization and
+// ten seconds later.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hclocksync/internal/clock"
+	"hclocksync/internal/clocksync"
+	"hclocksync/internal/cluster"
+	"hclocksync/internal/mpi"
+)
+
+func main() {
+	// A 16-node slice of the Jupiter model, 4 ranks per node.
+	spec := cluster.Jupiter()
+	spec.Nodes, spec.CoresPerSocket = 16, 2
+
+	// HCA3 with the paper's parameter naming: 150 fit points, each found
+	// with 20 SKaMPI-Offset ping-pongs, re-anchoring the intercept.
+	alg := clocksync.HCA3{Params: clocksync.Params{
+		NFitpoints:         150,
+		Offset:             clocksync.SKaMPIOffset{NExchanges: 20},
+		RecomputeIntercept: true,
+	}}
+
+	err := mpi.Run(mpi.Config{Spec: spec, NProcs: 64, Seed: 42}, func(p *mpi.Proc) {
+		// Every rank calls Sync collectively, like an MPI program would.
+		start := p.TrueNow()
+		g := alg.Sync(p.World(), clock.NewLocal(p))
+		dur := p.World().AllreduceF64(p.TrueNow()-start, mpi.OpMax)
+
+		// Rank 0 measures the residual offset to every other rank's
+		// global clock, waits 10 s, and measures again (paper Alg. 6).
+		samples := clocksync.CheckAccuracy(p.World(), g, clocksync.CheckConfig{
+			Offset:   clocksync.SKaMPIOffset{NExchanges: 10},
+			WaitTime: 10,
+		})
+		if p.Rank() == 0 {
+			at0, at10 := clocksync.MaxAbsOffsets(samples)
+			fmt.Printf("algorithm:          %s\n", alg.Name())
+			fmt.Printf("ranks:              %d\n", p.Size())
+			fmt.Printf("sync duration:      %.3f s\n", dur)
+			fmt.Printf("max offset at 0 s:  %.3f us\n", at0*1e6)
+			fmt.Printf("max offset at 10 s: %.3f us\n", at10*1e6)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

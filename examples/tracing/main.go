@@ -1,0 +1,69 @@
+// Tracing: trace the AMG2013 proxy application with a raw local clock and
+// with a synchronized global clock, then print the Gantt rows of one
+// MPI_Allreduce iteration — the paper's Fig. 10 in miniature.
+//
+// Run with:
+//
+//	go run ./examples/tracing
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hclocksync/internal/amg"
+	"hclocksync/internal/clock"
+	"hclocksync/internal/clocksync"
+	"hclocksync/internal/cluster"
+	"hclocksync/internal/mpi"
+	"hclocksync/internal/trace"
+)
+
+func traced(global bool) []trace.Span {
+	spec := cluster.Jupiter()
+	spec.Nodes, spec.SocketsPerNode, spec.CoresPerSocket = 6, 2, 2 // 24 ranks
+
+	var spans []trace.Span
+	err := mpi.Run(mpi.Config{Spec: spec, NProcs: 24, Seed: 5}, func(p *mpi.Proc) {
+		var clk clock.Clock = clock.NewLocal(p)
+		if global {
+			clk = clocksync.NewH2HCA(clocksync.HCA3{Params: clocksync.Params{
+				NFitpoints: 100, Offset: clocksync.SKaMPIOffset{NExchanges: 15},
+			}}).Sync(p.World(), clk)
+		}
+		tr := trace.New(p, clk)
+		amg.Run(p, amg.Config{Iters: 12, Compute: 25e-6, Imbalance: 0.4, NoiseSigma: 2e-6}, tr)
+		got := trace.Gather(p.World(), amg.AllreduceRegion, tr.Filter(amg.AllreduceRegion, 10))
+		if p.Rank() == 0 {
+			spans = trace.Normalize(got)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return spans
+}
+
+func main() {
+	for _, global := range []bool{false, true} {
+		name := "local clock (clock_gettime)"
+		if global {
+			name = "global clock (H2HCA)"
+		}
+		spans := traced(global)
+		fmt.Printf("--- 10th MPI_Allreduce traced with %s ---\n", name)
+		if err := trace.WriteCSV(os.Stdout, spans[:4]); err != nil {
+			log.Fatal(err)
+		}
+		var max float64
+		for _, s := range spans {
+			if s.Start > max {
+				max = s.Start
+			}
+		}
+		fmt.Printf("(start-time spread across %d ranks: %.3f us)\n\n", len(spans), max*1e6)
+	}
+	fmt.Println("With local clocks the spread is dominated by per-node clock offsets;")
+	fmt.Println("with the global clock it reflects the application's real imbalance.")
+}

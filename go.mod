@@ -1,0 +1,3 @@
+module hclocksync
+
+go 1.22

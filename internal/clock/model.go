@@ -1,0 +1,69 @@
+package clock
+
+import "hclocksync/internal/mpi"
+
+// LinearModel is a clock drift model: the predicted offset of a clock
+// relative to its reference is Slope·t + Intercept at local reading t.
+// The zero value predicts zero drift (the identity adjustment).
+type LinearModel struct {
+	Slope, Intercept float64
+}
+
+// Predict returns the modelled offset at base reading t.
+func (m LinearModel) Predict(t float64) float64 { return m.Slope*t + m.Intercept }
+
+// IsZero reports whether the model is the identity.
+func (m LinearModel) IsZero() bool { return m.Slope == 0 && m.Intercept == 0 }
+
+// Merge composes drift models across a hop: if outer models clock b against
+// reference a (so a = t_b − outer(t_b)) and inner models clock c against b,
+// Merge(outer, inner) models c directly against a. This is the model-merge
+// step of HCA2 (paper Fig. 1a: cm(0,3) ← MERGE(cm(0,2), cm(2,3))).
+func Merge(outer, inner LinearModel) LinearModel {
+	return LinearModel{
+		Slope:     outer.Slope + inner.Slope - outer.Slope*inner.Slope,
+		Intercept: outer.Intercept + (1-outer.Slope)*inner.Intercept,
+	}
+}
+
+// --- Wire encoding (flatten_clock / unflatten_clock of Alg. 3) ---
+
+// Flatten serializes a nested clock into a buffer: the drift models from
+// innermost to outermost. The receiving rank re-instantiates the stack over
+// its own local clock — valid exactly when sender and receiver share a
+// hardware time source (ClockPropSync's precondition).
+func Flatten(c Clock) []byte {
+	var models []LinearModel
+	for {
+		g, ok := c.(*GlobalClockLM)
+		if !ok {
+			break
+		}
+		models = append([]LinearModel{g.Model}, models...)
+		c = g.Base
+	}
+	vals := make([]float64, 0, 2*len(models))
+	for _, m := range models {
+		vals = append(vals, m.Slope, m.Intercept)
+	}
+	return mpi.EncodeF64s(vals)
+}
+
+// Unflatten rebuilds a clock stack from a Flatten buffer on top of base.
+func Unflatten(buf []byte, base Clock) Clock {
+	vals := mpi.DecodeF64s(buf)
+	c := base
+	for i := 0; i+1 < len(vals); i += 2 {
+		c = New(c, LinearModel{Slope: vals[i], Intercept: vals[i+1]})
+	}
+	return c
+}
+
+// ModelF64s encodes a single model as two float64s for point-to-point
+// exchange (HCA2's upward model merging).
+func (m LinearModel) ModelF64s() []float64 { return []float64{m.Slope, m.Intercept} }
+
+// ModelFromF64s decodes a model encoded by ModelF64s.
+func ModelFromF64s(v []float64) LinearModel {
+	return LinearModel{Slope: v[0], Intercept: v[1]}
+}

@@ -1,0 +1,44 @@
+package clocksync_test
+
+import (
+	"fmt"
+
+	"hclocksync/internal/clock"
+	"hclocksync/internal/clocksync"
+	"hclocksync/internal/cluster"
+	"hclocksync/internal/mpi"
+)
+
+// Synchronize a 16-rank job with HCA3 and check the residual offsets with
+// the paper's accuracy procedure (Alg. 6).
+func Example() {
+	spec := cluster.TestBox()
+	alg := clocksync.HCA3{Params: clocksync.Params{
+		NFitpoints: 40,
+		Offset:     clocksync.SKaMPIOffset{NExchanges: 10},
+	}}
+	err := mpi.Run(mpi.Config{Spec: spec, NProcs: 16, Seed: 7}, func(p *mpi.Proc) {
+		g := alg.Sync(p.World(), clock.NewLocal(p))
+		samples := clocksync.CheckAccuracy(p.World(), g, clocksync.CheckConfig{WaitTime: 1})
+		if p.Rank() == 0 {
+			at0, _ := clocksync.MaxAbsOffsets(samples)
+			fmt.Printf("%s synced %d ranks; residual < 1us: %v\n",
+				alg.Name(), p.Size(), at0 < 1e-6)
+		}
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: hca3/40/SKaMPI-Offset/10 synced 16 ranks; residual < 1us: true
+}
+
+// Compose a hierarchical scheme: HCA3 between nodes, clock-model
+// propagation within each node (the paper's H2HCA).
+func ExampleNewH2HCA() {
+	h2 := clocksync.NewH2HCA(clocksync.HCA3{Params: clocksync.Params{
+		NFitpoints: 500,
+		Offset:     clocksync.SKaMPIOffset{NExchanges: 100},
+	}})
+	fmt.Println(h2.Name())
+	// Output: Top/hca3/500/SKaMPI-Offset/100/Bottom/ClockPropagation
+}

@@ -1,0 +1,131 @@
+package clocksync
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hclocksync/internal/clock"
+	"hclocksync/internal/mpi"
+)
+
+// ClockPropSync implements Alg. 3: rank 0 of the communicator (which must
+// already hold the synchronized clock) broadcasts its flattened clock-model
+// stack; the other ranks re-instantiate it over their own base clock. This
+// is only correct when all ranks of the communicator share a hardware time
+// source (the paper's clock_getcpuclockid check) — NewMachine's clock
+// domain decides that, and Sync panics if the precondition is violated.
+type ClockPropSync struct{}
+
+// Name returns the paper's label for the scheme.
+func (ClockPropSync) Name() string { return "ClockPropagation" }
+
+// Sync implements Alg. 3 (two broadcasts: size, then the flat buffer).
+func (ClockPropSync) Sync(comm *mpi.Comm, clk clock.Clock) clock.Clock {
+	checkSharedTimeSource(comm)
+	const pRef = 0
+	if comm.Rank() == pRef {
+		buf := clock.Flatten(clk)
+		var size [4]byte
+		binary.LittleEndian.PutUint32(size[:], uint32(len(buf)))
+		comm.Bcast(size[:], pRef)
+		comm.Bcast(buf, pRef)
+		return clk
+	}
+	comm.Bcast(nil, pRef) // size message (the payload length is implicit here)
+	buf := comm.Bcast(nil, pRef)
+	return clock.Unflatten(buf, clk)
+}
+
+func checkSharedTimeSource(comm *mpi.Comm) {
+	m := comm.Proc().Machine()
+	r0 := comm.WorldRank(0)
+	for i := 1; i < comm.Size(); i++ {
+		if !m.SameClock(r0, comm.WorldRank(i)) {
+			panic(fmt.Sprintf(
+				"clocksync: ClockPropSync on ranks without a shared time source (world ranks %d and %d)",
+				r0, comm.WorldRank(i)))
+		}
+	}
+}
+
+// GroupBy builds the lower-level communicator of one hierarchy level.
+type GroupBy int
+
+const (
+	// ByNode groups ranks sharing a compute node
+	// (MPI_COMM_TYPE_SHARED).
+	ByNode GroupBy = iota
+	// BySocket groups ranks sharing a socket (hwloc-derived).
+	BySocket
+)
+
+func (g GroupBy) String() string {
+	if g == ByNode {
+		return "node"
+	}
+	return "socket"
+}
+
+// Hier is the H^l-HCA scheme (Alg. 4): it splits the communicator into
+// groups, runs Top between the group leaders, and then runs Bottom inside
+// each group with the leader's freshly synchronized clock as the base.
+// Nesting a Hier as the Bottom algorithm yields three and more levels.
+type Hier struct {
+	Top    Algorithm
+	Bottom Algorithm
+	Group  GroupBy
+}
+
+// Name renders the paper's "Top/…/Bottom/…" label.
+func (h Hier) Name() string {
+	return fmt.Sprintf("Top/%s/Bottom/%s", h.Top.Name(), h.Bottom.Name())
+}
+
+// Sync implements Alg. 4. Communicator creation is part of the call — the
+// paper deliberately charges it to the synchronization duration.
+func (h Hier) Sync(comm *mpi.Comm, clk clock.Clock) clock.Clock {
+	var group *mpi.Comm
+	switch h.Group {
+	case ByNode:
+		group = comm.SplitShared()
+	case BySocket:
+		group = comm.SplitSocket()
+	default:
+		panic(fmt.Sprintf("clocksync: unknown grouping %d", int(h.Group)))
+	}
+	leader := group.Rank() == 0
+	top := comm.SplitLeaders(leader)
+
+	// Step 1: synchronize between groups (leaders only).
+	g1 := clk
+	if top != nil && top.Size() > 1 {
+		g1 = h.Top.Sync(top, clk)
+	}
+	// Step 2: synchronize within the group, on top of the leader's clock.
+	g2 := g1
+	if group.Size() > 1 {
+		g2 = h.Bottom.Sync(group, g1)
+	}
+	return g2
+}
+
+// NewH2HCA builds the paper's two-level realization: the given algorithm
+// between nodes, ClockPropSync within each node.
+func NewH2HCA(inter Algorithm) Hier {
+	return Hier{Top: inter, Bottom: ClockPropSync{}, Group: ByNode}
+}
+
+// NewH3HCA builds the paper's three-level realization: internode sync
+// between node leaders, intersocket sync within each node, and propagation
+// within each socket.
+func NewH3HCA(internode, intersocket Algorithm) Hier {
+	return Hier{
+		Top:   internode,
+		Group: ByNode,
+		Bottom: Hier{
+			Top:    intersocket,
+			Bottom: ClockPropSync{},
+			Group:  BySocket,
+		},
+	}
+}

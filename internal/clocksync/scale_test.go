@@ -1,0 +1,41 @@
+package clocksync
+
+import (
+	"testing"
+
+	"hclocksync/internal/clock"
+	"hclocksync/internal/cluster"
+	"hclocksync/internal/mpi"
+)
+
+// TestScaleH2HCA1024 exercises the hierarchical sync at four-digit rank
+// counts (the regime of the paper's Titan runs, Fig. 6). Skipped under
+// -short; it takes several seconds of wall clock.
+func TestScaleH2HCA1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	spec := cluster.Titan()
+	spec.Nodes = 256 // 256 nodes x 4 used ranks below
+	params := Params{NFitpoints: 20, Offset: SKaMPIOffset{NExchanges: 8}}
+	alg := NewH2HCA(HCA3{params})
+	var dur float64
+	err := mpi.Run(mpi.Config{Spec: spec, NProcs: 1024, Seed: 1}, func(p *mpi.Proc) {
+		g := alg.Sync(p.World(), clock.NewLocal(p))
+		end := p.World().AllreduceF64(p.TrueNow(), mpi.OpMax)
+		if p.Rank() == 0 {
+			dur = end
+		}
+		// Spot-check: the clock must be sane (collapsible, finite).
+		_, m := clock.Collapse(g)
+		if m.Slope > 1e-3 || m.Slope < -1e-3 {
+			t.Errorf("rank %d: implausible model slope %v", p.Rank(), m.Slope)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur <= 0 || dur > 1 {
+		t.Errorf("1024-rank hierarchical sync took %v simulated seconds", dur)
+	}
+}

@@ -1,0 +1,134 @@
+// Package cluster models the parallel machine: its topology (nodes, sockets,
+// cores), its drifting hardware clocks, and its interconnect latency.
+//
+// The model substitutes for the paper's physical testbeds (Jupiter, Hydra,
+// Titan; Table I): clock-synchronization algorithms only observe local clock
+// readings and message latencies, and both are first-class parameters here.
+package cluster
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ClockSpec describes one hardware clock.
+//
+// The clock maps true (simulation) time t to a local reading. Its rate error
+// ("skew") is piecewise constant: within each wander interval the skew is
+// fixed, and between intervals it follows a mean-reverting random walk
+// around BaseSkew. This makes drift effectively linear over a few intervals
+// (the regime the paper's linear models assume, Fig. 2c) but visibly
+// nonlinear over hundreds of seconds (Fig. 2a/2b).
+type ClockSpec struct {
+	Offset         float64 // initial reading at t=0 (seconds)
+	BaseSkew       float64 // mean fractional rate error, e.g. 1e-6 = 1 ppm
+	WanderSigma    float64 // std-dev of skew increments per interval
+	WanderRho      float64 // mean-reversion factor in (0,1]; 1 = pure random walk
+	WanderInterval float64 // seconds per constant-skew segment; 0 disables wander
+	Granularity    float64 // reading quantum (e.g. 1e-9 for clock_gettime); 0 = exact
+	ReadCost       float64 // CPU time consumed by one reading (seconds)
+}
+
+// HWClock is a simulated hardware clock. Reading it is pure with respect to
+// true time; the caller (the MPI layer) is responsible for charging
+// Spec.ReadCost of process time per read.
+//
+// Segments are extended lazily but deterministically: the n-th segment's
+// skew depends only on the clock's seed, never on query order.
+type HWClock struct {
+	Spec ClockSpec
+	rng  *rand.Rand
+	// localStart[i] is the local reading at true time i*WanderInterval;
+	// skews[i] applies on [i*W, (i+1)*W).
+	localStart []float64
+	skews      []float64
+	wander     float64
+}
+
+// NewHWClock creates a clock from spec with its own deterministic random
+// stream (used only for skew wander).
+func NewHWClock(spec ClockSpec, seed int64) *HWClock {
+	c := &HWClock{Spec: spec, rng: rand.New(rand.NewSource(seed))}
+	if spec.WanderInterval > 0 {
+		c.localStart = []float64{spec.Offset}
+		c.extend()
+	}
+	return c
+}
+
+// extend appends one more constant-skew segment.
+func (c *HWClock) extend() {
+	rho := c.Spec.WanderRho
+	if rho == 0 {
+		rho = 1
+	}
+	c.wander = rho*c.wander + c.Spec.WanderSigma*c.rng.NormFloat64()
+	skew := c.Spec.BaseSkew + c.wander
+	if skew <= -0.5 {
+		skew = -0.5 // keep the clock strictly monotonic
+	}
+	c.skews = append(c.skews, skew)
+	last := len(c.skews) - 1
+	c.localStart = append(c.localStart,
+		c.localStart[last]+(1+skew)*c.Spec.WanderInterval)
+}
+
+// ReadAt returns the clock's reading at true time t >= 0.
+func (c *HWClock) ReadAt(t float64) float64 {
+	var l float64
+	if c.Spec.WanderInterval <= 0 {
+		l = c.Spec.Offset + (1+c.Spec.BaseSkew)*t
+	} else {
+		w := c.Spec.WanderInterval
+		i := int(t / w)
+		for i >= len(c.skews) {
+			c.extend()
+		}
+		l = c.localStart[i] + (1+c.skews[i])*(t-float64(i)*w)
+	}
+	if g := c.Spec.Granularity; g > 0 {
+		l = math.Floor(l/g) * g
+	}
+	return l
+}
+
+// TrueWhen returns the true time at which the clock's (unquantized) reading
+// equals local. It is the exact inverse of ReadAt modulo granularity.
+func (c *HWClock) TrueWhen(local float64) float64 {
+	if c.Spec.WanderInterval <= 0 {
+		return (local - c.Spec.Offset) / (1 + c.Spec.BaseSkew)
+	}
+	// Extend segments until the reading is covered.
+	for c.localStart[len(c.localStart)-1] < local {
+		c.extend()
+	}
+	// Binary search for the segment containing the reading.
+	lo, hi := 0, len(c.skews)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if c.localStart[mid] <= local {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	w := c.Spec.WanderInterval
+	t := float64(lo)*w + (local-c.localStart[lo])/(1+c.skews[lo])
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+// SkewAt returns the instantaneous skew in effect at true time t. Useful in
+// tests and experiments that need the ground truth.
+func (c *HWClock) SkewAt(t float64) float64 {
+	if c.Spec.WanderInterval <= 0 {
+		return c.Spec.BaseSkew
+	}
+	i := int(t / c.Spec.WanderInterval)
+	for i >= len(c.skews) {
+		c.extend()
+	}
+	return c.skews[i]
+}

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMapBlockPlacement(t *testing.T) {
+	m, err := NewMachine(TestBox(), 8, MapBlock, 1) // 4 cores/node
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Location{
+		{0, 0, 0}, {0, 0, 1}, {0, 1, 0}, {0, 1, 1},
+		{1, 0, 0}, {1, 0, 1}, {1, 1, 0}, {1, 1, 1},
+	}
+	for r, w := range want {
+		if got := m.Location(r); got != w {
+			t.Errorf("rank %d at %+v, want %+v", r, got, w)
+		}
+	}
+}
+
+func TestMapSpreadPlacement(t *testing.T) {
+	m, err := NewMachine(TestBox(), 6, MapSpread, 1) // 4 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNodes := []int{0, 1, 2, 3, 0, 1}
+	for r, n := range wantNodes {
+		if got := m.Location(r).Node; got != n {
+			t.Errorf("rank %d on node %d, want %d", r, got, n)
+		}
+	}
+	// Ranks 4,5 are the second core on nodes 0,1.
+	if m.Location(4).Socket != 0 || m.Location(4).Core != 1 {
+		t.Errorf("rank 4 placement %+v, want socket 0 core 1", m.Location(4))
+	}
+}
+
+func TestTooManyProcsRejected(t *testing.T) {
+	if _, err := NewMachine(TestBox(), 17, MapBlock, 1); err == nil {
+		t.Error("expected error for 17 procs on 16 cores")
+	}
+	if _, err := NewMachine(TestBox(), 0, MapBlock, 1); err == nil {
+		t.Error("expected error for 0 procs")
+	}
+}
+
+func TestLevelClassification(t *testing.T) {
+	m, _ := NewMachine(TestBox(), 8, MapBlock, 1)
+	cases := []struct {
+		a, b int
+		want Level
+	}{
+		{0, 0, LevelSelf},
+		{0, 1, LevelSocket},  // same socket
+		{0, 2, LevelNode},    // same node, other socket
+		{0, 4, LevelCluster}, // other node
+	}
+	for _, c := range cases {
+		if got := m.LevelOf(c.a, c.b); got != c.want {
+			t.Errorf("LevelOf(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDelayOrdering(t *testing.T) {
+	m, _ := NewMachine(TestBox(), 8, MapBlock, 1)
+	// Jitter-free minimums must be ordered socket < node < cluster.
+	s := m.MinDelay(0, 1, 8)
+	n := m.MinDelay(0, 2, 8)
+	c := m.MinDelay(0, 4, 8)
+	if !(s < n && n < c) {
+		t.Errorf("min delays not ordered: socket=%v node=%v cluster=%v", s, n, c)
+	}
+	// Sampled delays never fall below the minimum.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		if d := m.Delay(0, 4, 8, rng); d < c {
+			t.Fatalf("sampled delay %v below minimum %v", d, c)
+		}
+	}
+	// Larger messages cost more.
+	if m.MinDelay(0, 4, 1<<20) <= m.MinDelay(0, 4, 8) {
+		t.Error("per-byte cost not applied")
+	}
+}
+
+func TestClockDomainSharing(t *testing.T) {
+	spec := TestBox()
+	spec.ClockDomain = DomainNode
+	m, _ := NewMachine(spec, 8, MapBlock, 1)
+	if m.Clock(0, Monotonic) != m.Clock(3, Monotonic) {
+		t.Error("ranks 0 and 3 on node 0 should share a clock")
+	}
+	if m.Clock(0, Monotonic) == m.Clock(4, Monotonic) {
+		t.Error("ranks on different nodes must not share a clock")
+	}
+	if !m.SameClock(0, 3) || m.SameClock(0, 4) {
+		t.Error("SameClock disagrees with Clock identity")
+	}
+	if m.Clock(0, Monotonic) == m.Clock(0, GTOD) {
+		t.Error("monotonic and gtod sources must differ")
+	}
+
+	spec.ClockDomain = DomainSocket
+	m2, _ := NewMachine(spec, 8, MapBlock, 1)
+	if m2.Clock(0, Monotonic) == m2.Clock(2, Monotonic) {
+		t.Error("socket domain: different sockets must not share a clock")
+	}
+	if m2.Clock(0, Monotonic) != m2.Clock(1, Monotonic) {
+		t.Error("socket domain: same socket must share a clock")
+	}
+
+	spec.ClockDomain = DomainCore
+	m3, _ := NewMachine(spec, 8, MapBlock, 1)
+	if m3.Clock(0, Monotonic) == m3.Clock(1, Monotonic) {
+		t.Error("core domain: every core has its own clock")
+	}
+}
+
+func TestMachineDeterministicAcrossSeeds(t *testing.T) {
+	a, _ := NewMachine(TestBox(), 8, MapBlock, 99)
+	b, _ := NewMachine(TestBox(), 8, MapBlock, 99)
+	for r := 0; r < 8; r++ {
+		if a.Clock(r, Monotonic).ReadAt(12.3) != b.Clock(r, Monotonic).ReadAt(12.3) {
+			t.Fatalf("same seed produced different clocks for rank %d", r)
+		}
+	}
+	c, _ := NewMachine(TestBox(), 8, MapBlock, 100)
+	same := true
+	for r := 0; r < 8; r++ {
+		if a.Clock(r, Monotonic).ReadAt(12.3) != c.Clock(r, Monotonic).ReadAt(12.3) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical clocks")
+	}
+}
+
+func TestPresetsSane(t *testing.T) {
+	for _, spec := range Machines() {
+		if spec.TotalCores() <= 0 {
+			t.Errorf("%s: no cores", spec.Name)
+		}
+		if spec.InterNode.Alpha <= spec.IntraNode.Alpha {
+			t.Errorf("%s: inter-node latency should exceed intra-node", spec.Name)
+		}
+		if spec.IntraNode.Alpha <= spec.IntraSocket.Alpha {
+			t.Errorf("%s: intra-node latency should exceed intra-socket", spec.Name)
+		}
+		if spec.Mono.Granularity >= spec.GTOD.Granularity {
+			t.Errorf("%s: gettimeofday must be coarser than clock_gettime", spec.Name)
+		}
+	}
+	// Paper Table I scale checks.
+	if j := Jupiter(); j.Nodes != 36 || j.CoresPerNode() != 16 {
+		t.Error("Jupiter should be 36 nodes x 16 cores")
+	}
+	if h := Hydra(); h.Nodes != 36 || h.CoresPerNode() != 32 {
+		t.Error("Hydra should be 36 nodes x 32 cores")
+	}
+	if ti := Titan(); ti.Nodes != 1024 || ti.CoresPerNode() != 16 {
+		t.Error("Titan should be 1024 nodes x 16 cores")
+	}
+	// Hydra is the faster network (paper Sec. IV-E).
+	if Hydra().InterNode.Alpha >= Jupiter().InterNode.Alpha {
+		t.Error("Hydra (OmniPath) should have lower latency than Jupiter (IB QDR)")
+	}
+}
+
+func TestIdealMachineExact(t *testing.T) {
+	m, _ := NewMachine(Ideal(2, 1, 2), 4, MapBlock, 1)
+	rng := rand.New(rand.NewSource(1))
+	if d := m.Delay(0, 2, 100, rng); d != 1e-6 {
+		t.Errorf("ideal inter-node delay = %v, want exactly 1e-6", d)
+	}
+	if got := m.Clock(0, Monotonic).ReadAt(55.5); got != 55.5 {
+		t.Errorf("ideal clock reads %v at t=55.5", got)
+	}
+}
+
+func TestGTODCoarserThanMono(t *testing.T) {
+	m, _ := NewMachine(Jupiter(), 4, MapBlock, 9)
+	gt := m.Clock(0, GTOD)
+	// gettimeofday readings quantize to 1 µs.
+	l := gt.ReadAt(123.4567891234)
+	if rem := math.Mod(l, 1e-6); math.Abs(rem) > 1e-12 && math.Abs(rem-1e-6) > 1e-12 {
+		t.Errorf("gtod reading %v not µs-aligned (rem %v)", l, rem)
+	}
+}
+
+func TestSelfLevelAndDelay(t *testing.T) {
+	m, _ := NewMachine(TestBox(), 4, MapBlock, 1)
+	if m.LevelOf(2, 2) != LevelSelf {
+		t.Error("self level")
+	}
+	// Self delay uses the intra-socket link (cheapest).
+	if d := m.MinDelay(2, 2, 8); d != m.MinDelay(0, 1, 8) {
+		t.Errorf("self min delay = %v", d)
+	}
+}

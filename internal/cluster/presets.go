@@ -1,0 +1,136 @@
+package cluster
+
+// Presets for the three machines of the paper's Table I. The latency
+// numbers are not measured from the real systems; they are chosen to be
+// plausible for the named interconnects (ping-pong latencies of a few
+// microseconds, as the paper reports for Jupiter and Hydra) and, more
+// importantly, to preserve the orderings the paper relies on: OmniPath
+// (Hydra) faster and quieter than InfiniBand QDR (Jupiter), and Gemini
+// (Titan) the noisiest, with occasional congestion spikes.
+
+// Jupiter models TU Wien's Jupiter: 36 nodes, 2× AMD Opteron 6134
+// (2 sockets × 8 cores), InfiniBand QDR. Paper: ping-pong latency 3–4 µs.
+func Jupiter() MachineSpec {
+	return MachineSpec{
+		Name:           "Jupiter",
+		Nodes:          36,
+		SocketsPerNode: 2,
+		CoresPerSocket: 8,
+		ClockDomain:    DomainNode,
+		InterNode:      LinkSpec{Alpha: 1.55e-6, Beta: 3.1e-10, JitterSigma: 2.0e-7, SpikeProb: 8e-3, SpikeScale: 1.0e-5},
+		IntraNode:      LinkSpec{Alpha: 4.5e-7, Beta: 1.2e-10, JitterSigma: 6e-8, SpikeProb: 3e-3, SpikeScale: 4e-6},
+		IntraSocket:    LinkSpec{Alpha: 2.5e-7, Beta: 6e-11, JitterSigma: 3e-8, SpikeProb: 3e-3, SpikeScale: 4e-6},
+		SendOverhead:   2.0e-7,
+		RecvOverhead:   2.0e-7,
+		Mono:           defaultMono(),
+		GTOD:           defaultGTOD(),
+	}
+}
+
+// Hydra models TU Wien's Hydra: 36 nodes, 2× Intel Xeon Gold 6130
+// (2 sockets × 16 cores), Intel OmniPath. The paper notes its latency is
+// lower than Jupiter's.
+func Hydra() MachineSpec {
+	return MachineSpec{
+		Name:           "Hydra",
+		Nodes:          36,
+		SocketsPerNode: 2,
+		CoresPerSocket: 16,
+		ClockDomain:    DomainNode,
+		InterNode:      LinkSpec{Alpha: 1.05e-6, Beta: 1.0e-10, JitterSigma: 1.1e-7, SpikeProb: 5e-3, SpikeScale: 8e-6},
+		IntraNode:      LinkSpec{Alpha: 3.5e-7, Beta: 8e-11, JitterSigma: 4e-8, SpikeProb: 2e-3, SpikeScale: 3e-6},
+		IntraSocket:    LinkSpec{Alpha: 2.0e-7, Beta: 5e-11, JitterSigma: 2e-8, SpikeProb: 2e-3, SpikeScale: 3e-6},
+		SendOverhead:   1.5e-7,
+		RecvOverhead:   1.5e-7,
+		Mono:           defaultMono(),
+		GTOD:           defaultGTOD(),
+	}
+}
+
+// Titan models ORNL's Titan: Cray XK7, AMD Opteron 6274 (modelled as
+// 2 sockets × 8 cores), Cray Gemini. The paper observed larger offset
+// variance there, consistent with a noisier, congested torus network.
+func Titan() MachineSpec {
+	return MachineSpec{
+		Name:           "Titan",
+		Nodes:          1024,
+		SocketsPerNode: 2,
+		CoresPerSocket: 8,
+		ClockDomain:    DomainNode,
+		InterNode:      LinkSpec{Alpha: 1.6e-6, Beta: 2.5e-10, JitterSigma: 3.5e-7, SpikeProb: 5e-3, SpikeScale: 1.2e-5},
+		IntraNode:      LinkSpec{Alpha: 5e-7, Beta: 1.2e-10, JitterSigma: 7e-8, SpikeProb: 4e-3, SpikeScale: 5e-6},
+		IntraSocket:    LinkSpec{Alpha: 2.5e-7, Beta: 6e-11, JitterSigma: 3e-8, SpikeProb: 4e-3, SpikeScale: 5e-6},
+		SendOverhead:   2.2e-7,
+		RecvOverhead:   2.2e-7,
+		Mono: ClockGenSpec{
+			// Larger skews: the paper saw clock drift change "rather
+			// quickly" on large allocations.
+			OffsetSpread: 4e4, SkewSpread: 1.5e-6,
+			WanderSigma: 4e-8, WanderRho: 0.999, WanderInterval: 1,
+			Granularity: 1e-9, ReadCost: 2.5e-8,
+		},
+		GTOD: defaultGTOD(),
+	}
+}
+
+// defaultMono is a clock_gettime-like population: ns granularity, arbitrary
+// per-node offsets (boot-time spread), ~ppm skews that wander slowly so
+// drift is linear over ~10 s but not over 500 s (paper Fig. 2).
+func defaultMono() ClockGenSpec {
+	return ClockGenSpec{
+		OffsetSpread:   4e4,   // up to ±11 h apart, like boot-time offsets
+		SkewSpread:     1e-6,  // ±1 ppm
+		WanderSigma:    2e-8,  // 0.02 ppm per second
+		WanderRho:      0.999, // slow mean reversion
+		WanderInterval: 1,
+		Granularity:    1e-9,
+		ReadCost:       2.5e-8,
+	}
+}
+
+// defaultGTOD is a gettimeofday-like population: NTP keeps offsets within
+// ~150 µs, but readings quantize to 1 µs.
+func defaultGTOD() ClockGenSpec {
+	return ClockGenSpec{
+		OffsetSpread:   1.5e-4,
+		SkewSpread:     3e-7, // NTP-disciplined rate
+		WanderSigma:    1e-8,
+		WanderRho:      0.999,
+		WanderInterval: 1,
+		Granularity:    1e-6,
+		ReadCost:       3.0e-8,
+	}
+}
+
+// TestBox is a small, fast machine for unit tests: 4 nodes × 2 sockets ×
+// 2 cores, Jupiter-like latencies but no spikes.
+func TestBox() MachineSpec {
+	s := Jupiter()
+	s.Name = "TestBox"
+	s.Nodes, s.SocketsPerNode, s.CoresPerSocket = 4, 2, 2
+	for _, l := range []*LinkSpec{&s.InterNode, &s.IntraNode, &s.IntraSocket} {
+		l.SpikeProb = 0
+	}
+	return s
+}
+
+// Ideal is a machine with perfect clocks (no offset, skew, or wander) and
+// deterministic latencies — every measured offset should be ~0 and latency
+// exactly predictable. Used by tests to verify algorithm plumbing exactly.
+func Ideal(nodes, socketsPerNode, coresPerSocket int) MachineSpec {
+	return MachineSpec{
+		Name:           "Ideal",
+		Nodes:          nodes,
+		SocketsPerNode: socketsPerNode,
+		CoresPerSocket: coresPerSocket,
+		ClockDomain:    DomainNode,
+		InterNode:      LinkSpec{Alpha: 1e-6},
+		IntraNode:      LinkSpec{Alpha: 4e-7},
+		IntraSocket:    LinkSpec{Alpha: 2e-7},
+	}
+}
+
+// Machines returns the Table I presets in paper order.
+func Machines() []MachineSpec {
+	return []MachineSpec{Jupiter(), Hydra(), Titan()}
+}

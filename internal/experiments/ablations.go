@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hclocksync/internal/clocksync"
+	"hclocksync/internal/cluster"
+)
+
+// Ablation experiments probe the design choices the paper (and DESIGN.md)
+// call out. Each returns a SyncAccuracyResult comparing exactly two
+// configurations so the effect is isolated.
+
+// AblationJKOffsetAlg reproduces the paper's §III-C3 side-finding: swapping
+// JK's native Mean-RTT-Offset for SKaMPI-Offset "boosts the global clock
+// precision of JK significantly".
+func AblationJKOffsetAlg(nprocs, nfit, nexch int, nruns int) (*SyncAccuracyResult, error) {
+	spec := cluster.Jupiter()
+	spec.Nodes, spec.CoresPerSocket = nprocs/2, 1
+	return RunSyncAccuracy(SyncAccuracyConfig{
+		Job:      Job{Spec: spec, NProcs: nprocs, Seed: 11},
+		NRuns:    nruns,
+		WaitTime: 5,
+		Algorithms: []clocksync.Algorithm{
+			clocksync.JK{Params: clocksync.Params{
+				NFitpoints: nfit, Offset: &clocksync.MeanRTTOffset{NExchanges: nexch},
+			}},
+			clocksync.JK{Params: clocksync.Params{
+				NFitpoints: nfit, Offset: clocksync.SKaMPIOffset{NExchanges: nexch},
+			}},
+		},
+		Check: clocksync.CheckConfig{Offset: clocksync.SKaMPIOffset{NExchanges: 10}},
+	})
+}
+
+// AblationRecomputeIntercept isolates HCA3's recompute_intercept flag
+// (Alg. 2): re-anchoring the intercept after the regression should improve
+// the offset right after synchronization.
+func AblationRecomputeIntercept(nprocs, nfit, nexch, nruns int) (*SyncAccuracyResult, error) {
+	spec := cluster.Jupiter()
+	spec.Nodes, spec.CoresPerSocket = nprocs/2, 1
+	off := clocksync.SKaMPIOffset{NExchanges: nexch}
+	with := clocksync.Params{NFitpoints: nfit, Offset: off, RecomputeIntercept: true}
+	without := clocksync.Params{NFitpoints: nfit, Offset: off}
+	return RunSyncAccuracy(SyncAccuracyConfig{
+		Job:      Job{Spec: spec, NProcs: nprocs, Seed: 12},
+		NRuns:    nruns,
+		WaitTime: 5,
+		Algorithms: []clocksync.Algorithm{
+			clocksync.HCA3{Params: without},
+			clocksync.HCA3{Params: with},
+		},
+		Check: clocksync.CheckConfig{Offset: clocksync.SKaMPIOffset{NExchanges: 10}},
+	})
+}
+
+// AblationWander contrasts drifting-skew clocks against fixed-skew clocks
+// (WanderSigma = 0) using the Fig. 2 drift experiment: the wander is the
+// model ingredient that makes long-horizon drift nonlinear (paper §III-C2),
+// so the full-horizon R² of a linear fit collapses the difference into one
+// number — with wander off, drift is a perfect line (R² ≈ 1) however long
+// you watch.
+func AblationWander(nprocs int, horizon float64) (withWander, withoutWander *Fig2Result, err error) {
+	mk := func(wander bool) Fig2Config {
+		cfg := DefaultFig2Config()
+		cfg.Job.NProcs = nprocs
+		cfg.Duration = horizon
+		cfg.SampleEvery = horizon / 60
+		cfg.Exchanges = 8
+		if !wander {
+			cfg.Job.Spec.Mono.WanderSigma = 0
+		}
+		return cfg
+	}
+	withWander, err = RunFig2(mk(true))
+	if err != nil {
+		return nil, nil, err
+	}
+	withoutWander, err = RunFig2(mk(false))
+	if err != nil {
+		return nil, nil, err
+	}
+	return withWander, withoutWander, nil
+}
+
+// MeanFullR2 averages the full-horizon fit quality across a drift result's
+// series — the ablation's headline number.
+func MeanFullR2(r *Fig2Result) float64 {
+	var sum float64
+	for _, s := range r.Series {
+		sum += s.FullFit.R2
+	}
+	return sum / float64(len(r.Series))
+}
+
+// PrintAblation renders a two-line comparison.
+func PrintAblation(w io.Writer, title string, res *SyncAccuracyResult) {
+	fmt.Fprintf(w, "Ablation: %s\n", title)
+	for _, l := range res.labels() {
+		dur, at0, atW := res.MeanFor(l)
+		fmt.Fprintf(w, "  %-64s dur %8.4fs  max|off|@0 %9.3fus  @W %9.3fus\n",
+			l, dur, us(at0), us(atW))
+	}
+}

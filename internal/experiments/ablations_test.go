@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationJKOffsetAlgRuns(t *testing.T) {
+	res, err := AblationJKOffsetAlg(8, 30, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 4 {
+		t.Fatalf("%d runs", len(res.Runs))
+	}
+	labels := res.labels()
+	if len(labels) != 2 ||
+		!strings.Contains(labels[0], "Mean-RTT-Offset") ||
+		!strings.Contains(labels[1], "SKaMPI-Offset") {
+		t.Errorf("labels = %v", labels)
+	}
+	var b strings.Builder
+	PrintAblation(&b, "jk offset alg", res)
+	if !strings.Contains(b.String(), "Ablation: jk offset alg") {
+		t.Error("PrintAblation output malformed")
+	}
+}
+
+func TestAblationWanderMakesDriftNonlinear(t *testing.T) {
+	with, without, err := AblationWander(5, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2with, r2without := MeanFullR2(with), MeanFullR2(without)
+	// Without wander, drift is a perfect line over any horizon.
+	if r2without < 0.99999 {
+		t.Errorf("fixed-skew full-horizon R² = %v, want ~1", r2without)
+	}
+	if r2with >= r2without {
+		t.Errorf("wandering skew should degrade the long fit: with=%v without=%v",
+			r2with, r2without)
+	}
+}
+
+func TestAblationRecomputeInterceptRuns(t *testing.T) {
+	res, err := AblationRecomputeIntercept(8, 30, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.labels()) != 2 {
+		t.Fatalf("labels = %v", res.labels())
+	}
+}

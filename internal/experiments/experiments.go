@@ -1,0 +1,54 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation. Each harness has a Default*Config constructor (CLI
+// scale — smaller than the paper's testbeds, see DESIGN.md §1), a Run
+// function returning typed results, and a Print function that emits the
+// same rows/series the paper reports. The cmd/ tools and the repository's
+// benchmark suite are thin wrappers around these.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hclocksync/internal/cluster"
+	"hclocksync/internal/mpi"
+)
+
+// Job identifies one simulated mpirun.
+type Job struct {
+	Spec        cluster.MachineSpec
+	NProcs      int
+	Mapping     cluster.Mapping
+	Seed        int64
+	ClockSource cluster.ClockSource
+	Barrier     mpi.BarrierAlg
+	Allreduce   mpi.AllreduceAlg
+}
+
+// run executes main as an MPI job; it converts the config and fails fast.
+func (j Job) run(main func(p *mpi.Proc)) error {
+	return mpi.Run(mpi.Config{
+		Spec:        j.Spec,
+		NProcs:      j.NProcs,
+		Mapping:     j.Mapping,
+		Seed:        j.Seed,
+		ClockSource: j.ClockSource,
+		Barrier:     j.Barrier,
+		Allreduce:   j.Allreduce,
+	}, main)
+}
+
+// us converts seconds to microseconds for printing (the paper's unit).
+func us(sec float64) float64 { return sec * 1e6 }
+
+// Table1 prints the machine inventory of the paper's Table I as modelled by
+// the cluster presets.
+func Table1(w io.Writer) {
+	fmt.Fprintf(w, "%-8s %-26s %-12s %-14s %s\n",
+		"Name", "Hardware", "ClockDomain", "InterconnectA", "Cores")
+	for _, spec := range cluster.Machines() {
+		fmt.Fprintf(w, "%-8s %3d nodes x %d sockets x %2d  %-12s %8.2f us %8d\n",
+			spec.Name, spec.Nodes, spec.SocketsPerNode, spec.CoresPerSocket,
+			spec.ClockDomain, us(spec.InterNode.Alpha), spec.TotalCores())
+	}
+}

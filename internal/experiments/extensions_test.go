@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hclocksync/internal/mpi"
+)
+
+func TestDriftAwareDegradation(t *testing.T) {
+	cfg := DefaultDriftAwareConfig()
+	cfg.NRuns = 2
+	cfg.Waits = []float64{10}
+	res, err := RunDriftAware(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != 2 {
+		t.Fatalf("labels = %v", res.Labels)
+	}
+	skampi, hca3 := res.Labels[0], res.Labels[1]
+	if !strings.HasPrefix(skampi, "skampi-sync/") {
+		t.Fatalf("unexpected label order: %v", res.Labels)
+	}
+	// Right after sync both are tight.
+	if res.AtWait(skampi, 0) > 1e-6 || res.AtWait(hca3, 0) > 1e-6 {
+		t.Errorf("at 0 s: skampi %v, hca3 %v", res.AtWait(skampi, 0), res.AtWait(hca3, 0))
+	}
+	// The paper's §II claim: the offset-only clock degrades much faster —
+	// after 10 s it has absorbed the full ppm-level drift (tens of µs)
+	// while the drift-aware model stays several times tighter.
+	s10 := res.AtWait(skampi, 1)
+	h10 := res.AtWait(hca3, 1)
+	if s10 < 2*h10 {
+		t.Errorf("offset-only (%v) should degrade much faster than drift-aware (%v)", s10, h10)
+	}
+	if s10 < 5e-6 {
+		t.Errorf("offset-only clock after 10 s = %v; expected ppm-drift magnitude", s10)
+	}
+	var b strings.Builder
+	res.Print(&b)
+	if !strings.Contains(b.String(), "skampi-sync") {
+		t.Error("Print missing scheme rows")
+	}
+}
+
+func TestWindowLossCascade(t *testing.T) {
+	cfg := DefaultWindowLossConfig()
+	cfg.NRep = 120
+	res, err := RunWindowLoss(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RoundValid == 0 || res.WindowTotal != 120 {
+		t.Fatalf("result = %+v", res)
+	}
+	// Round-Time must lose (far) fewer repetitions than the window scheme.
+	if res.RoundYield() <= res.WindowYield() {
+		t.Errorf("Round-Time yield %.2f should beat window yield %.2f",
+			res.RoundYield(), res.WindowYield())
+	}
+	// And the window losses must show the cascade signature: at least one
+	// outlier knocked out multiple consecutive windows.
+	if res.MaxCascade < 2 {
+		t.Errorf("max cascade = %d; expected multi-window invalidation", res.MaxCascade)
+	}
+	var b strings.Builder
+	res.Print(&b)
+	if !strings.Contains(b.String(), "cascade") {
+		t.Error("Print missing cascade line")
+	}
+}
+
+func TestTraceCorrectionSchemes(t *testing.T) {
+	cfg := DefaultTraceCorrectionConfig()
+	cfg.NIter = 24
+	cfg.ComputePer = 5
+	cfg.ResyncEvery = 6
+	res, err := RunTraceCorrection(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := res.MaxSpread(SchemeLocal)
+	interp := res.MidSpread(SchemeInterpolation)
+	once := res.MaxSpread(SchemeSyncOnce)
+	periodic := res.MaxSpread(SchemePeriodic)
+
+	// Raw local timestamps are off by clock offsets (hours).
+	if local < 1 {
+		t.Errorf("raw local spread = %v s; expected boot-offset scale", local)
+	}
+	// Every correction beats raw local by many orders of magnitude.
+	for _, v := range []float64{interp, once, periodic} {
+		if v > 1e-3 {
+			t.Errorf("corrected spread %v s; expected sub-millisecond", v)
+		}
+	}
+	// Over a 2-minute trace, a single start-of-trace model extrapolates
+	// its slope error; periodic re-synchronization must do better.
+	if periodic >= once {
+		t.Errorf("periodic resync (%v) should beat one-shot sync (%v) on long traces",
+			periodic, once)
+	}
+	var b strings.Builder
+	res.Print(&b)
+	if !strings.Contains(b.String(), "interpolation") {
+		t.Error("Print missing schemes")
+	}
+}
+
+func TestTuningWinnersDependOnMeasurement(t *testing.T) {
+	cfg := DefaultTuningConfig()
+	cfg.MSizes = []int{8, 262144}
+	cfg.NRep = 20
+	spec := cfg.Job.Spec
+	spec.Nodes, spec.CoresPerSocket = 8, 2
+	cfg.Job = Job{Spec: spec, NProcs: 32, Seed: 18}
+	res, err := RunTuning(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Measurements) != 3 {
+		t.Fatalf("measurements = %v", res.Measurements)
+	}
+	// Every (measurement, msize) cell must have a positive latency for
+	// every candidate.
+	for mi := range res.Measurements {
+		for _, msize := range cfg.MSizes {
+			for _, cand := range cfg.Candidates {
+				if v := res.Latency[mi][msize][cand]; v <= 0 || v > 1e-2 {
+					t.Errorf("%v/%d/%v latency = %v", res.Measurements[mi], msize, cand, v)
+				}
+			}
+		}
+	}
+	// Structural sanity under the clean Round-Time scheme: at 8 B the
+	// ring's 2(p−1) latency-bound steps must lose to recursive doubling;
+	// at 256 KiB the bandwidth-bound ring must win.
+	if res.Latency[0][8][mpi.AllreduceRing] <= res.Latency[0][8][mpi.AllreduceRecursiveDoubling] {
+		t.Errorf("at 8 B recursive doubling (%v) should beat ring (%v)",
+			res.Latency[0][8][mpi.AllreduceRecursiveDoubling],
+			res.Latency[0][8][mpi.AllreduceRing])
+	}
+	big := cfg.MSizes[len(cfg.MSizes)-1]
+	if res.Latency[0][big][mpi.AllreduceRing] >= res.Latency[0][big][mpi.AllreduceRecursiveDoubling] {
+		t.Errorf("at %d B ring (%v) should beat recursive doubling (%v)",
+			big, res.Latency[0][big][mpi.AllreduceRing],
+			res.Latency[0][big][mpi.AllreduceRecursiveDoubling])
+	}
+	// Even when winners agree, barrier-based measurement inflates the
+	// numbers a tuner records (the paper's Fig. 7 distortion).
+	if infl := res.Inflation(1); infl < 1.2 {
+		t.Errorf("OSU+bruck inflation = %.2fx, expected > 1.2x at small sizes", infl)
+	}
+	var b strings.Builder
+	res.Print(&b)
+	if !strings.Contains(b.String(), "disagree on the winner") {
+		t.Error("Print missing disagreement summary")
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"hclocksync/internal/bench"
+	"hclocksync/internal/cluster"
+	"hclocksync/internal/mpi"
+)
+
+// Fig7Config drives the benchmark-suite × barrier-algorithm comparison
+// (paper Fig. 7): the measured latency of a small MPI_Allreduce depends
+// both on the benchmark's measurement loop and on which MPI_Barrier
+// implementation it synchronizes with.
+type Fig7Config struct {
+	Job      Job
+	Suites   []bench.Suite
+	Barriers []mpi.BarrierAlg
+	MSizes   []int
+	NRep     int
+}
+
+// DefaultFig7Config mirrors the paper: IMB, OSU, and ReproMPI measuring
+// MPI_Allreduce at 4/8/16 B under the bruck, recursive-doubling, and tree
+// barriers on Jupiter (scaled to 16 nodes × 4 ranks).
+func DefaultFig7Config() Fig7Config {
+	spec := cluster.Jupiter()
+	spec.Nodes, spec.CoresPerSocket = 16, 2
+	return Fig7Config{
+		Job:      Job{Spec: spec, NProcs: 64, Seed: 7},
+		Suites:   []bench.Suite{bench.SuiteIMB, bench.SuiteOSU, bench.SuiteReproMPIBarrier},
+		Barriers: []mpi.BarrierAlg{mpi.BarrierDissemination, mpi.BarrierRecursiveDoubling, mpi.BarrierTree},
+		MSizes:   []int{4, 8, 16},
+		NRep:     50,
+	}
+}
+
+// Fig7Row is one measured cell of the figure.
+type Fig7Row struct {
+	Suite   bench.Suite
+	Barrier mpi.BarrierAlg
+	MSize   int
+	Latency float64 // seconds, as the suite would report it
+}
+
+// Fig7Result bundles all cells.
+type Fig7Result struct {
+	Config Fig7Config
+	Rows   []Fig7Row
+}
+
+// RunFig7 executes one mpirun per (suite, barrier) pair, measuring every
+// message size inside it (as the real tools do).
+func RunFig7(cfg Fig7Config) (*Fig7Result, error) {
+	res := &Fig7Result{Config: cfg}
+	for _, suite := range cfg.Suites {
+		for _, barrier := range cfg.Barriers {
+			var mu sync.Mutex
+			lats := make(map[int]float64)
+			job := cfg.Job
+			job.Seed += int64(len(res.Rows)) // vary the run seed per cell group
+			err := job.run(func(p *mpi.Proc) {
+				for _, msize := range cfg.MSizes {
+					op := bench.AllreduceOp(msize, mpi.AllreduceRecursiveDoubling)
+					lat := bench.RunSuite(p.World(), suite, op, bench.SuiteConfig{
+						NRep:    cfg.NRep,
+						Barrier: barrier,
+					})
+					if p.Rank() == 0 {
+						mu.Lock()
+						lats[msize] = lat
+						mu.Unlock()
+					}
+				}
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", suite, barrier, err)
+			}
+			for _, msize := range cfg.MSizes {
+				res.Rows = append(res.Rows, Fig7Row{
+					Suite: suite, Barrier: barrier, MSize: msize, Latency: lats[msize],
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Print emits the figure's panels: per message size, latency by
+// (benchmark, barrier algorithm).
+func (r *Fig7Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 7 — MPI_Allreduce latency by benchmark and MPI_Barrier algorithm (%s, %d procs)\n",
+		r.Config.Job.Spec.Name, r.Config.Job.NProcs)
+	for _, msize := range r.Config.MSizes {
+		fmt.Fprintf(w, "\nmsize = %d Bytes\n", msize)
+		fmt.Fprintf(w, "%-20s", "benchmark")
+		for _, b := range r.Config.Barriers {
+			fmt.Fprintf(w, " %18s", b)
+		}
+		fmt.Fprintln(w)
+		for _, suite := range r.Config.Suites {
+			fmt.Fprintf(w, "%-20s", suite)
+			for _, b := range r.Config.Barriers {
+				for _, row := range r.Rows {
+					if row.Suite == suite && row.Barrier == b && row.MSize == msize {
+						fmt.Fprintf(w, " %15.3fus", us(row.Latency))
+					}
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// LatencyFor returns the measured latency of one cell (NaN if absent).
+func (r *Fig7Result) LatencyFor(suite bench.Suite, barrier mpi.BarrierAlg, msize int) float64 {
+	for _, row := range r.Rows {
+		if row.Suite == suite && row.Barrier == barrier && row.MSize == msize {
+			return row.Latency
+		}
+	}
+	return nan()
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"hclocksync/internal/bench"
+	"hclocksync/internal/clock"
+	"hclocksync/internal/clocksync"
+	"hclocksync/internal/cluster"
+	"hclocksync/internal/mpi"
+	"hclocksync/internal/stats"
+)
+
+// Fig9Config drives the OSU-vs-Round-Time message-size sweep (paper
+// Fig. 9): the barrier-based OSU loop inflates small-message Allreduce
+// latencies relative to ReproMPI's Round-Time scheme on a global clock.
+type Fig9Config struct {
+	Job       Job
+	MSizes    []int
+	NRuns     int // mpiruns; error bars are min/max of the per-run averages
+	NRep      int
+	Barrier   mpi.BarrierAlg // OSU's internal barrier
+	Sync      clocksync.Algorithm
+	RoundTime bench.RoundTimeConfig
+}
+
+// DefaultFig9Config mirrors the paper on Titan (paper: 64×16 = 1024 procs,
+// 3 runs, 5 s time slices; scaled to 32×4 = 128 procs and 30 ms slices).
+func DefaultFig9Config() Fig9Config {
+	spec := cluster.Titan()
+	spec.Nodes, spec.CoresPerSocket = 32, 2
+	return Fig9Config{
+		Job:     Job{Spec: spec, NProcs: 128, Seed: 9},
+		MSizes:  []int{4, 8, 16, 32, 64, 128, 256, 512, 1024},
+		NRuns:   3,
+		NRep:    40,
+		Barrier: mpi.BarrierDissemination,
+		Sync: clocksync.NewH2HCA(clocksync.HCA3{Params: clocksync.Params{
+			NFitpoints: 150, Offset: clocksync.SKaMPIOffset{NExchanges: 20},
+		}}),
+		RoundTime: bench.RoundTimeConfig{MaxTimeSlice: 30e-3},
+	}
+}
+
+// Fig9Point is one (suite, msize) aggregate over the runs.
+type Fig9Point struct {
+	Suite    bench.Suite
+	MSize    int
+	Mean     float64 // mean over runs of the per-run average latency (s)
+	Min, Max float64 // error bars: min and max of the per-run averages
+	PerRun   []float64
+}
+
+// Fig9Result bundles the sweep.
+type Fig9Result struct {
+	Config Fig9Config
+	Points []Fig9Point
+}
+
+// RunFig9 executes the sweep: per run, one mpirun measures every message
+// size with both schemes (clocks are synchronized once per run, as ReproMPI
+// does).
+func RunFig9(cfg Fig9Config) (*Fig9Result, error) {
+	type key struct {
+		suite bench.Suite
+		msize int
+	}
+	perRun := make(map[key][]float64)
+	for run := 0; run < cfg.NRuns; run++ {
+		job := cfg.Job
+		job.Seed += int64(run * 977)
+		var mu sync.Mutex
+		err := job.run(func(p *mpi.Proc) {
+			comm := p.World()
+			g := cfg.Sync.Sync(comm, clock.NewLocal(p))
+			for _, msize := range cfg.MSizes {
+				op := bench.AllreduceOp(msize, mpi.AllreduceRecursiveDoubling)
+				osu := bench.RunSuite(comm, bench.SuiteOSU, op, bench.SuiteConfig{
+					NRep: cfg.NRep, Barrier: cfg.Barrier,
+				})
+				rt := bench.RunSuite(comm, bench.SuiteReproMPIRoundTime, op, bench.SuiteConfig{
+					NRep: cfg.NRep, Clock: g, RoundTime: cfg.RoundTime,
+				})
+				if p.Rank() == 0 {
+					mu.Lock()
+					perRun[key{bench.SuiteOSU, msize}] = append(perRun[key{bench.SuiteOSU, msize}], osu)
+					perRun[key{bench.SuiteReproMPIRoundTime, msize}] = append(perRun[key{bench.SuiteReproMPIRoundTime, msize}], rt)
+					mu.Unlock()
+				}
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("run %d: %w", run, err)
+		}
+	}
+	res := &Fig9Result{Config: cfg}
+	for _, suite := range []bench.Suite{bench.SuiteOSU, bench.SuiteReproMPIRoundTime} {
+		for _, msize := range cfg.MSizes {
+			vals := perRun[key{suite, msize}]
+			res.Points = append(res.Points, Fig9Point{
+				Suite: suite, MSize: msize,
+				Mean: stats.Mean(vals), Min: stats.Min(vals), Max: stats.Max(vals),
+				PerRun: vals,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Print emits the figure's two series with min/max error bars.
+func (r *Fig9Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 9 — MPI_Allreduce latency: OSU (barrier) vs ReproMPI (Round-Time); %s, %d procs, %d runs\n",
+		r.Config.Job.Spec.Name, r.Config.Job.NProcs, r.Config.NRuns)
+	fmt.Fprintf(w, "%-22s %8s %12s %12s %12s\n", "suite", "msize[B]", "mean[us]", "min[us]", "max[us]")
+	for _, pt := range r.Points {
+		fmt.Fprintf(w, "%-22s %8d %12.3f %12.3f %12.3f\n",
+			pt.Suite, pt.MSize, us(pt.Mean), us(pt.Min), us(pt.Max))
+	}
+}
+
+// MeanFor returns the mean latency of one (suite, msize) point.
+func (r *Fig9Result) MeanFor(suite bench.Suite, msize int) float64 {
+	for _, pt := range r.Points {
+		if pt.Suite == suite && pt.MSize == msize {
+			return pt.Mean
+		}
+	}
+	return nan()
+}

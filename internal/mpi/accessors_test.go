@@ -1,0 +1,58 @@
+package mpi
+
+import (
+	"testing"
+
+	"hclocksync/internal/cluster"
+)
+
+func TestAccessors(t *testing.T) {
+	runIdeal(t, 4, func(p *Proc) {
+		if p.Size() != 4 {
+			t.Errorf("Size = %d", p.Size())
+		}
+		w := p.World()
+		if w.Proc() != p {
+			t.Error("Comm.Proc mismatch")
+		}
+		if got := p.HWClockOf(cluster.GTOD); got == nil {
+			t.Error("HWClockOf returned nil")
+		}
+		if p.Rand() == nil {
+			t.Error("Rand returned nil")
+		}
+		if p.Rank() == 0 {
+			before := p.TrueNow()
+			p.WaitUntilTrue(before + 1)
+			if p.TrueNow() < before+1 {
+				t.Error("WaitUntilTrue did not advance")
+			}
+			// Advance with non-positive duration is a no-op.
+			at := p.TrueNow()
+			p.Advance(-5)
+			if p.TrueNow() != at {
+				t.Error("negative Advance moved time")
+			}
+		}
+	})
+	// Default Barrier()/Allreduce() entry points (world-config defaults).
+	runIdeal(t, 4, func(p *Proc) {
+		p.World().Barrier()
+		if got := p.World().AllreduceF64(1, OpSum); got != 4 {
+			t.Errorf("default allreduce = %v", got)
+		}
+		if got := p.World().BcastF64(7, 0); got != 7 {
+			t.Errorf("BcastF64 = %v", got)
+		}
+	})
+}
+
+func TestAlgStringNames(t *testing.T) {
+	if BarrierAlg(99).String() == "" || AllreduceAlg(99).String() == "" ||
+		BcastAlg(99).String() == "" || AlltoallAlg(99).String() == "" {
+		t.Error("unknown algorithm String() must be non-empty")
+	}
+	if BcastBinomial.String() != "binomial" || BcastLinear.String() != "linear" {
+		t.Error("bcast names")
+	}
+}

@@ -1,0 +1,152 @@
+package mpi
+
+import "fmt"
+
+// BcastAlg selects the MPI_Bcast implementation.
+type BcastAlg int
+
+const (
+	// BcastBinomial relays the message along a binomial tree (default).
+	BcastBinomial BcastAlg = iota
+	// BcastLinear sends from the root to every rank directly.
+	BcastLinear
+)
+
+func (a BcastAlg) String() string {
+	switch a {
+	case BcastBinomial:
+		return "binomial"
+	case BcastLinear:
+		return "linear"
+	}
+	return fmt.Sprintf("BcastAlg(%d)", int(a))
+}
+
+// Bcast broadcasts data from root to all ranks and returns the payload on
+// every rank (the root gets its own slice back).
+func (c *Comm) Bcast(data []byte, root int) []byte {
+	return c.BcastWith(data, root, c.p.world.cfg.Bcast)
+}
+
+// BcastWith broadcasts with an explicit algorithm.
+func (c *Comm) BcastWith(data []byte, root int, alg BcastAlg) []byte {
+	c.checkRoot(root)
+	tag := c.nextTag(kindBcast)
+	if c.Size() == 1 {
+		return data
+	}
+	switch alg {
+	case BcastLinear:
+		if c.rank == root {
+			for r := 0; r < c.Size(); r++ {
+				if r != root {
+					c.Send(r, tag, data)
+				}
+			}
+			return data
+		}
+		return c.Recv(root, tag)
+	case BcastBinomial:
+		return c.bcastBinomial(data, root, tag)
+	default:
+		panic(fmt.Sprintf("mpi: unknown bcast algorithm %d", int(alg)))
+	}
+}
+
+func (c *Comm) bcastBinomial(data []byte, root, tag int) []byte {
+	n := c.Size()
+	vr := (c.rank - root + n) % n
+	if vr == 0 {
+		top := 1
+		for top < n {
+			top <<= 1
+		}
+		for m := top >> 1; m >= 1; m >>= 1 {
+			if m < n {
+				c.Send((m+root)%n, tag, data)
+			}
+		}
+		return data
+	}
+	mask := 1
+	for vr&mask == 0 {
+		mask <<= 1
+	}
+	data = c.Recv((vr-mask+root)%n, tag)
+	for m := mask >> 1; m >= 1; m >>= 1 {
+		if vr+m < n {
+			c.Send((vr+m+root)%n, tag, data)
+		}
+	}
+	return data
+}
+
+// BcastF64 broadcasts one float64 from root (used by Round-Time to announce
+// start times).
+func (c *Comm) BcastF64(v float64, root int) float64 {
+	out := c.Bcast(EncodeF64s([]float64{v}), root)
+	return DecodeF64s(out)[0]
+}
+
+// Scatter distributes chunks[i] from root to rank i along a linear scheme
+// (Open MPI basic). Returns the caller's chunk. Non-roots pass nil.
+func (c *Comm) Scatter(chunks [][]byte, root int) []byte {
+	c.checkRoot(root)
+	tag := c.nextTag(kindScatter)
+	if c.rank == root {
+		if len(chunks) != c.Size() {
+			panic(fmt.Sprintf("mpi: Scatter needs %d chunks, got %d", c.Size(), len(chunks)))
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				c.Send(r, tag, chunks[r])
+			}
+		}
+		return chunks[root]
+	}
+	return c.Recv(root, tag)
+}
+
+// Gather collects each rank's data at root; on root the returned slice has
+// one entry per rank, elsewhere it is nil.
+func (c *Comm) Gather(data []byte, root int) [][]byte {
+	c.checkRoot(root)
+	tag := c.nextTag(kindGather)
+	if c.rank == root {
+		out := make([][]byte, c.Size())
+		out[root] = data
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				out[r] = c.Recv(r, tag)
+			}
+		}
+		return out
+	}
+	c.Send(root, tag, data)
+	return nil
+}
+
+// Allgather collects each rank's fixed-size data everywhere using a ring.
+func (c *Comm) Allgather(data []byte) [][]byte {
+	tag := c.nextTag(kindAllgather)
+	n := c.Size()
+	out := make([][]byte, n)
+	out[c.rank] = data
+	if n == 1 {
+		return out
+	}
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	cur := c.rank
+	for step := 0; step < n-1; step++ {
+		buf := make([]byte, 0, len(out[cur])+8)
+		buf = append(buf, EncodeF64s([]float64{float64(cur)})...)
+		buf = append(buf, out[cur]...)
+		c.Send(right, tag, buf)
+		got := c.Recv(left, tag)
+		src := int(DecodeF64s(got[:8])[0])
+		out[src] = got[8:]
+		cur = src
+	}
+	return out
+}

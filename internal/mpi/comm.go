@@ -1,0 +1,173 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Comm is one rank's handle on a communicator. The ranks slice (communicator
+// rank → world rank) is identical across members; rank is this process's
+// position in it.
+type Comm struct {
+	p     *Proc
+	id    int
+	ranks []int
+	rank  int
+	// collSeq numbers this rank's collective calls on the communicator.
+	// MPI requires all members to issue collectives in the same order, so
+	// the counter agrees across members and makes collective message tags
+	// unambiguous even when ranks run ahead of one another.
+	collSeq int
+}
+
+// Rank returns the calling process's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Proc returns the owning process.
+func (c *Comm) Proc() *Proc { return c.p }
+
+// WorldRank translates a communicator rank to a world rank.
+func (c *Comm) WorldRank(r int) int { return c.ranks[r] }
+
+// internal collective kinds for tag construction.
+const (
+	kindBarrier = iota
+	kindBcast
+	kindReduce
+	kindAllreduce
+	kindScatter
+	kindGather
+	kindAllgather
+	kindSplit
+	kindAlltoall
+	numKinds
+)
+
+// nextTag reserves a fresh internal tag for one collective operation. User
+// tags must be non-negative; internal tags are negative.
+func (c *Comm) nextTag(kind int) int {
+	seq := c.collSeq
+	c.collSeq++
+	return -(1 + kind + numKinds*seq)
+}
+
+// ColorUndefined makes Split return a nil communicator for the caller
+// (MPI_UNDEFINED).
+const ColorUndefined = -1
+
+type splitKey struct {
+	parent, seq, color int
+}
+
+// commID returns the agreed-upon id for the subcommunicator produced by
+// split operation seq of parent for the given color. The first member to
+// ask allocates it; determinism follows from colors being identical across
+// members.
+func (w *World) commID(parent, seq, color int) int {
+	k := splitKey{parent, seq, color}
+	if id, ok := w.commIDs[k]; ok {
+		return id
+	}
+	id := w.nextComm
+	w.nextComm++
+	w.commIDs[k] = id
+	return id
+}
+
+// Split partitions the communicator by color, ordering each group by
+// (key, old rank), like MPI_Comm_split. Ranks passing ColorUndefined get a
+// nil communicator. The exchange is implemented as an Allgather of
+// (color, key) pairs, so it costs simulated time — the paper deliberately
+// includes communicator creation in the hierarchical sync duration.
+func (c *Comm) Split(color, key int) *Comm {
+	seq := c.collSeq // nextTag increments; remember for commID
+	pairs := c.allgatherInts([2]int{color, key})
+	if color == ColorUndefined {
+		return nil
+	}
+	type member struct{ rank, key int }
+	var group []member
+	for r, pk := range pairs {
+		if pk[0] == color {
+			group = append(group, member{r, pk[1]})
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].key != group[j].key {
+			return group[i].key < group[j].key
+		}
+		return group[i].rank < group[j].rank
+	})
+	newRanks := make([]int, len(group))
+	myNew := -1
+	for i, m := range group {
+		newRanks[i] = c.ranks[m.rank]
+		if m.rank == c.rank {
+			myNew = i
+		}
+	}
+	return &Comm{
+		p:     c.p,
+		id:    c.p.world.commID(c.id, seq, color),
+		ranks: newRanks,
+		rank:  myNew,
+	}
+}
+
+// allgatherInts gathers one [2]int from every rank using a ring allgather.
+func (c *Comm) allgatherInts(mine [2]int) [][2]int {
+	tag := c.nextTag(kindSplit)
+	n := c.Size()
+	out := make([][2]int, n)
+	out[c.rank] = mine
+	if n == 1 {
+		return out
+	}
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	cur := c.rank
+	for step := 0; step < n-1; step++ {
+		v := out[cur]
+		c.Send(right, tag, EncodeF64s([]float64{float64(cur), float64(v[0]), float64(v[1])}))
+		got := DecodeF64s(c.Recv(left, tag))
+		src := int(got[0])
+		out[src] = [2]int{int(got[1]), int(got[2])}
+		cur = src
+	}
+	return out
+}
+
+// SplitShared splits the communicator into per-node subcommunicators,
+// like MPI_Comm_split_type(MPI_COMM_TYPE_SHARED).
+func (c *Comm) SplitShared() *Comm {
+	return c.Split(c.p.world.machine.Location(c.ranks[c.rank]).Node, c.rank)
+}
+
+// SplitSocket splits the communicator into per-socket subcommunicators
+// (node and socket identify the group), the hwloc-assisted split used by
+// H3HCA.
+func (c *Comm) SplitSocket() *Comm {
+	loc := c.p.world.machine.Location(c.ranks[c.rank])
+	spn := c.p.world.machine.Spec.SocketsPerNode
+	return c.Split(loc.Node*spn+loc.Socket, c.rank)
+}
+
+// SplitLeaders keeps only the ranks for which leader is true, forming the
+// upper-level communicator of a hierarchy (e.g. one rank per node). Others
+// get nil.
+func (c *Comm) SplitLeaders(leader bool) *Comm {
+	color := 0
+	if !leader {
+		color = ColorUndefined
+	}
+	return c.Split(color, c.rank)
+}
+
+func (c *Comm) checkRoot(root int) {
+	if root < 0 || root >= c.Size() {
+		panic(fmt.Sprintf("mpi: root %d out of range (size %d)", root, c.Size()))
+	}
+}

@@ -1,0 +1,72 @@
+package mpi
+
+import "fmt"
+
+// Nonblocking point-to-point operations (MPI_Isend / MPI_Irecv / MPI_Wait).
+//
+// In the eager simulation model a standard send already returns after the
+// local overhead, so Isend's value is symmetry and the deferred completion
+// point; Irecv is the genuinely useful one: it lets a rank pre-post
+// receives and overlap waiting with other work — the mechanism nonblocking
+// benchmarks (NBCBench) measure.
+
+// Request is a handle on an outstanding nonblocking operation. Exactly one
+// Wait per request.
+type Request struct {
+	done   bool
+	isRecv bool
+	comm   *Comm
+	src    int // world rank (recv only)
+	tag    int
+	data   []byte
+}
+
+// Isend starts a standard-mode send and returns immediately. The message
+// is on its way once the call returns (eager protocol); Wait only marks
+// the request complete.
+func (c *Comm) Isend(dst, tag int, payload []byte) *Request {
+	c.Send(dst, tag, payload)
+	return &Request{comm: c, tag: tag}
+}
+
+// Irecv posts a receive without blocking. The message is claimed (and the
+// rank blocks if it has not arrived) at Wait time.
+func (c *Comm) Irecv(src, tag int) *Request {
+	return &Request{
+		comm:   c,
+		isRecv: true,
+		src:    c.ranks[src],
+		tag:    tag,
+	}
+}
+
+// Wait blocks until the operation completes and, for receives, returns the
+// payload. Waiting twice on one request panics, as MPI would invalidate
+// the handle.
+func (r *Request) Wait() []byte {
+	if r.done {
+		panic("mpi: Wait on a completed request")
+	}
+	r.done = true
+	if !r.isRecv {
+		return nil
+	}
+	r.data = r.comm.p.recv(r.comm.id, r.src, r.tag)
+	return r.data
+}
+
+// Done reports whether Wait has been called.
+func (r *Request) Done() bool { return r.done }
+
+// Waitall completes all requests in order and returns the receive payloads
+// (nil entries for sends).
+func Waitall(reqs []*Request) [][]byte {
+	out := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		if r == nil {
+			panic(fmt.Sprintf("mpi: Waitall: nil request at %d", i))
+		}
+		out[i] = r.Wait()
+	}
+	return out
+}

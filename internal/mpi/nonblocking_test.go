@@ -1,0 +1,85 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"hclocksync/internal/cluster"
+)
+
+func TestIrecvOverlapsWork(t *testing.T) {
+	// Pre-posting a receive lets the rank compute while the message is in
+	// flight: total time = max(compute, transfer), not the sum.
+	runIdeal(t, 5, func(p *Proc) {
+		w := p.World()
+		switch p.Rank() {
+		case 0:
+			w.SendF64(4, 1, 42)
+		case 4:
+			req := w.Irecv(0, 1)
+			p.Advance(5e-6) // overlapped compute, longer than the 1 µs flight
+			v := DecodeF64s(req.Wait())[0]
+			if v != 42 {
+				t.Errorf("payload = %v", v)
+			}
+			if got := p.TrueNow(); math.Abs(got-5e-6) > 1e-12 {
+				t.Errorf("completed at %v, want 5e-6 (full overlap)", got)
+			}
+		}
+	})
+}
+
+func TestIsendReturnsImmediately(t *testing.T) {
+	runIdeal(t, 5, func(p *Proc) {
+		w := p.World()
+		switch p.Rank() {
+		case 0:
+			req := w.Isend(4, 1, []byte{1})
+			if p.TrueNow() > 1e-3 {
+				t.Errorf("Isend blocked until %v", p.TrueNow())
+			}
+			req.Wait()
+		case 4:
+			p.Advance(1e-3)
+			w.Recv(0, 1)
+		}
+	})
+}
+
+func TestWaitallCompletesInOrder(t *testing.T) {
+	runIdeal(t, 5, func(p *Proc) {
+		w := p.World()
+		switch p.Rank() {
+		case 0:
+			w.Send(4, 1, []byte{1})
+			w.Send(4, 2, []byte{2})
+		case 4:
+			reqs := []*Request{w.Irecv(0, 2), w.Irecv(0, 1)}
+			out := Waitall(reqs)
+			if out[0][0] != 2 || out[1][0] != 1 {
+				t.Errorf("payloads = %v", out)
+			}
+			for _, r := range reqs {
+				if !r.Done() {
+					t.Error("request not done after Waitall")
+				}
+			}
+		}
+	})
+}
+
+func TestDoubleWaitPanics(t *testing.T) {
+	err := Run(Config{Spec: cluster.TestBox(), NProcs: 2, Seed: 1}, func(p *Proc) {
+		w := p.World()
+		if p.Rank() == 0 {
+			w.Send(1, 1, []byte{1})
+		} else {
+			req := w.Irecv(0, 1)
+			req.Wait()
+			req.Wait() // must panic
+		}
+	})
+	if err == nil {
+		t.Fatal("expected panic-derived error for double Wait")
+	}
+}

@@ -1,0 +1,180 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Point-to-point messaging.
+//
+// Matching is exact on (communicator, destination, source, tag); the
+// algorithms in this repository never need wildcards. Delivery is
+// non-overtaking per (source, destination) ordered pair: a message sent
+// later never arrives earlier, as MPI guarantees for matching receives.
+
+type mbKey struct {
+	comm, dst, src, tag int
+}
+
+type pairKey struct{ src, dst int }
+
+type message struct {
+	data    []byte
+	arrival float64
+	ssend   bool
+	sender  *Proc
+}
+
+type mailbox struct {
+	queue  []*message
+	waiter *Proc // at most one: the destination rank itself
+}
+
+func (w *World) mailbox(k mbKey) *mailbox {
+	mb := w.mailboxes[k]
+	if mb == nil {
+		mb = &mailbox{}
+		w.mailboxes[k] = mb
+	}
+	return mb
+}
+
+// send implements both standard (eager) and synchronous sends on world
+// ranks. nbytes is the wire size; data is the payload content (may be
+// shorter than nbytes — benchmarking messages are mostly padding).
+func (p *Proc) send(comm, dst, tag, nbytes int, data []byte, ssend bool) {
+	w := p.world
+	if dst < 0 || dst >= len(w.procs) {
+		panic(fmt.Sprintf("mpi: send to invalid world rank %d", dst))
+	}
+	if dst == p.rank {
+		panic("mpi: send-to-self is not supported; collectives avoid it")
+	}
+	if nbytes < len(data) {
+		nbytes = len(data)
+	}
+	// Sender-side CPU overhead.
+	p.Advance(w.cfg.Spec.SendOverhead)
+	delay := w.machine.Delay(p.rank, dst, nbytes, w.env.Rand())
+	arrival := p.sp.Now() + delay
+	pk := pairKey{p.rank, dst}
+	if last := w.lastArr[pk]; arrival < last {
+		arrival = last
+	}
+	w.lastArr[pk] = arrival
+
+	msg := &message{data: data, arrival: arrival, ssend: ssend, sender: p}
+	mb := w.mailbox(mbKey{comm, dst, p.rank, tag})
+	mb.queue = append(mb.queue, msg)
+	if mb.waiter != nil {
+		q := mb.waiter
+		mb.waiter = nil
+		w.env.Wake(q.sp, arrival)
+	}
+	if ssend {
+		// Synchronous send: block until the receive is matched. The
+		// receiver wakes us at match time.
+		p.sp.Suspend()
+	}
+}
+
+// recv blocks until a matching message has arrived and been taken off the
+// queue, charges the receive overhead, and returns the payload.
+func (p *Proc) recv(comm, src, tag int) []byte {
+	w := p.world
+	if src < 0 || src >= len(w.procs) {
+		panic(fmt.Sprintf("mpi: recv from invalid world rank %d", src))
+	}
+	key := mbKey{comm, p.rank, src, tag}
+	mb := w.mailbox(key)
+	for len(mb.queue) == 0 {
+		if mb.waiter != nil {
+			panic("mpi: two concurrent receives on one rank")
+		}
+		mb.waiter = p
+		p.sp.Suspend()
+	}
+	msg := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	if msg.arrival > p.sp.Now() {
+		p.sp.WaitUntil(msg.arrival)
+	}
+	p.Advance(w.cfg.Spec.RecvOverhead)
+	if msg.ssend {
+		// Release the synchronous sender at match time.
+		w.env.Wake(msg.sender.sp, p.sp.Now())
+	}
+	return msg.data
+}
+
+// --- Comm-level typed helpers ---
+
+// Send performs a standard-mode (eager) send of payload to comm rank dst.
+func (c *Comm) Send(dst, tag int, payload []byte) {
+	c.p.send(c.id, c.ranks[dst], tag, len(payload), payload, false)
+}
+
+// SendN sends a message whose wire size is nbytes regardless of payload
+// length; benchmarking messages are mostly padding.
+func (c *Comm) SendN(dst, tag, nbytes int, payload []byte) {
+	c.p.send(c.id, c.ranks[dst], tag, nbytes, payload, false)
+}
+
+// Ssend performs a synchronous send: it returns only after the matching
+// receive has been posted and matched (MPI_Ssend), which the JK offset
+// measurement relies on.
+func (c *Comm) Ssend(dst, tag int, payload []byte) {
+	c.p.send(c.id, c.ranks[dst], tag, len(payload), payload, true)
+}
+
+// Recv blocks until the message from comm rank src with the given tag
+// arrives and returns its payload.
+func (c *Comm) Recv(src, tag int) []byte {
+	return c.p.recv(c.id, c.ranks[src], tag)
+}
+
+// SendF64 sends one float64 (8 B on the wire), the workhorse of the clock
+// offset algorithms (timestamps).
+func (c *Comm) SendF64(dst, tag int, v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	c.Send(dst, tag, b[:])
+}
+
+// RecvF64 receives one float64 from src.
+func (c *Comm) RecvF64(src, tag int) float64 {
+	b := c.Recv(src, tag)
+	if len(b) != 8 {
+		panic(fmt.Sprintf("mpi: RecvF64 got %d bytes", len(b)))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// SsendF64 is the synchronous variant of SendF64.
+func (c *Comm) SsendF64(dst, tag int, v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	c.Ssend(dst, tag, b[:])
+}
+
+// EncodeF64s packs vals little-endian; the inverse of DecodeF64s.
+func EncodeF64s(vals []float64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+// DecodeF64s unpacks a buffer produced by EncodeF64s.
+func DecodeF64s(b []byte) []float64 {
+	if len(b)%8 != 0 {
+		panic(fmt.Sprintf("mpi: DecodeF64s got %d bytes", len(b)))
+	}
+	vals := make([]float64, len(b)/8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return vals
+}

@@ -1,0 +1,172 @@
+// Package mpi provides an MPI-like message-passing layer on top of the
+// discrete-event simulator (internal/sim) and the machine model
+// (internal/cluster).
+//
+// It supplies exactly the MPI surface the paper's algorithms need: blocking
+// standard and synchronous sends, blocking receives with (source, tag)
+// matching and non-overtaking delivery, communicators with Split (including
+// the MPI_COMM_TYPE_SHARED split used by the hierarchical synchronization),
+// and the collectives MPI_Barrier, MPI_Bcast, MPI_Scatter, MPI_Gather,
+// MPI_Allgather, MPI_Reduce, and MPI_Allreduce — each with a choice of
+// algorithms mirroring Open MPI's tuned collective module (linear, binomial
+// tree, recursive doubling, dissemination/"bruck", double ring, …).
+//
+// One rank is one sim process. A program is a function executed by every
+// rank, exactly like an MPI main:
+//
+//	err := mpi.Run(mpi.Config{Spec: cluster.Jupiter(), NProcs: 64}, func(p *mpi.Proc) {
+//		world := p.World()
+//		world.Barrier()
+//		...
+//	})
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hclocksync/internal/cluster"
+	"hclocksync/internal/sim"
+)
+
+// Config describes one simulated MPI job (one "mpirun").
+type Config struct {
+	Spec    cluster.MachineSpec
+	NProcs  int
+	Mapping cluster.Mapping
+	Seed    int64
+	// ClockSource is the OS clock ranks read (default Monotonic,
+	// i.e. clock_gettime).
+	ClockSource cluster.ClockSource
+	// Default collective algorithms (zero values pick sensible defaults).
+	Barrier   BarrierAlg
+	Allreduce AllreduceAlg
+	Bcast     BcastAlg
+}
+
+// World is the shared state of a simulated MPI job.
+type World struct {
+	env     *sim.Env
+	machine *cluster.Machine
+	cfg     Config
+	procs   []*Proc
+
+	mailboxes map[mbKey]*mailbox
+	lastArr   map[pairKey]float64 // non-overtaking clamp per (src,dst)
+	commIDs   map[splitKey]int
+	nextComm  int
+}
+
+// Proc is one MPI rank's view of the job.
+type Proc struct {
+	sp    *sim.Proc
+	world *World
+	rank  int
+	comm  *Comm // world communicator handle
+}
+
+// Run builds a machine from cfg, spawns cfg.NProcs ranks each executing
+// main, and runs the simulation to completion.
+func Run(cfg Config, main func(p *Proc)) error {
+	m, err := cluster.NewMachine(cfg.Spec, cfg.NProcs, cfg.Mapping, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	env := sim.NewEnv(cfg.Seed + 1)
+	return RunOn(env, m, cfg, main)
+}
+
+// RunOn runs an MPI job on a pre-built environment and machine. It allows a
+// caller to run several jobs (mpiruns) against the same machine instance —
+// note the clocks keep drifting across jobs since they share the machine.
+func RunOn(env *sim.Env, machine *cluster.Machine, cfg Config, main func(p *Proc)) error {
+	if cfg.NProcs == 0 {
+		cfg.NProcs = machine.NProcs()
+	}
+	if cfg.NProcs > machine.NProcs() {
+		return fmt.Errorf("mpi: %d procs requested but machine has %d ranks placed",
+			cfg.NProcs, machine.NProcs())
+	}
+	w := &World{
+		env:       env,
+		machine:   machine,
+		cfg:       cfg,
+		mailboxes: make(map[mbKey]*mailbox),
+		lastArr:   make(map[pairKey]float64),
+		commIDs:   make(map[splitKey]int),
+		nextComm:  1,
+	}
+	ranks := make([]int, cfg.NProcs)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	for r := 0; r < cfg.NProcs; r++ {
+		p := &Proc{world: w, rank: r}
+		p.comm = &Comm{p: p, id: 0, ranks: ranks, rank: r}
+		w.procs = append(w.procs, p)
+	}
+	// Spawn after all procs exist so ranks can address each other.
+	for _, p := range w.procs {
+		p := p
+		p.sp = env.Spawn(func(sp *sim.Proc) {
+			sp.Ctx = p
+			main(p)
+		})
+	}
+	return env.Run()
+}
+
+// Rank returns the process's rank in the world communicator.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the number of ranks in the job.
+func (p *Proc) Size() int { return len(p.world.procs) }
+
+// World returns the world communicator handle of this rank.
+func (p *Proc) World() *Comm { return p.comm }
+
+// Machine returns the underlying machine model.
+func (p *Proc) Machine() *cluster.Machine { return p.world.machine }
+
+// Location returns this rank's placement.
+func (p *Proc) Location() cluster.Location { return p.world.machine.Location(p.rank) }
+
+// TrueNow returns the current true simulation time — the ground truth no
+// real MPI process could observe. Experiments use it for validation only.
+func (p *Proc) TrueNow() float64 { return p.sp.Now() }
+
+// Advance consumes d seconds of this rank's (virtual) CPU time. It models
+// local computation.
+func (p *Proc) Advance(d float64) {
+	if d > 0 {
+		p.sp.Sleep(d)
+	}
+}
+
+// WaitUntilTrue blocks the rank until true simulation time t.
+func (p *Proc) WaitUntilTrue(t float64) { p.sp.WaitUntil(t) }
+
+// HWClock returns the hardware clock this rank reads under the job's
+// configured clock source.
+func (p *Proc) HWClock() *cluster.HWClock {
+	return p.world.machine.Clock(p.rank, p.world.cfg.ClockSource)
+}
+
+// HWClockOf returns this rank's hardware clock for an explicit source.
+func (p *Proc) HWClockOf(src cluster.ClockSource) *cluster.HWClock {
+	return p.world.machine.Clock(p.rank, src)
+}
+
+// ReadHWClock reads the rank's hardware clock, charging the clock's read
+// cost to the rank before taking the reading (as a real clock_gettime call
+// would).
+func (p *Proc) ReadHWClock() float64 {
+	c := p.HWClock()
+	p.Advance(c.Spec.ReadCost)
+	return c.ReadAt(p.sp.Now())
+}
+
+// Rand returns the job's seeded random source. Only the currently running
+// rank may use it (the natural pattern in a sequential simulation); draws
+// model nondeterministic local effects like OS noise.
+func (p *Proc) Rand() *rand.Rand { return p.world.env.Rand() }

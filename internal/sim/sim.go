@@ -1,0 +1,204 @@
+// Package sim implements a sequential, deterministic discrete-event
+// simulation kernel.
+//
+// A simulation consists of an Env (the kernel: virtual time, an event heap,
+// and a seeded random source) and a set of processes. Each process runs in
+// its own goroutine, but the kernel only ever lets one process execute at a
+// time: a process runs until it calls a blocking primitive (WaitUntil,
+// Sleep, Suspend), at which point control returns to the kernel, which
+// advances virtual time to the next event and resumes the corresponding
+// process. Ties in event time are broken by insertion order, so a run is
+// fully deterministic given the seed.
+//
+// The package knows nothing about networks or clocks; higher layers
+// (internal/cluster, internal/mpi) build those on top of WaitUntil,
+// Suspend, and Wake.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Env is the simulation kernel. Create one with NewEnv, add processes with
+// Spawn, then call Run.
+type Env struct {
+	now     float64
+	events  eventHeap
+	seq     int64
+	rng     *rand.Rand
+	procs   []*Proc
+	failure any // first panic value recovered from a process
+	failed  *Proc
+}
+
+// NewEnv returns a new simulation environment whose random source is seeded
+// with seed. Virtual time starts at 0 and is measured in seconds.
+func NewEnv(seed int64) *Env {
+	return &Env{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Env) Now() float64 { return e.now }
+
+// Rand returns the environment's seeded random source. It must only be used
+// from the currently running process (or before Run), which is the natural
+// call pattern in a sequential simulation.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Procs returns all processes spawned so far.
+func (e *Env) Procs() []*Proc { return e.procs }
+
+// Proc is a simulated process. Its methods that block (WaitUntil, Sleep,
+// Suspend) must only be called from within the process's own function.
+type Proc struct {
+	id     int
+	env    *Env
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+	// suspended reports that the process is parked with no scheduled wake
+	// event; some other process must Wake it.
+	suspended bool
+	// Ctx is an arbitrary per-process value for higher layers (e.g. the
+	// MPI rank state). The sim kernel never touches it.
+	Ctx any
+}
+
+// ID returns the process identifier (its spawn index).
+func (p *Proc) ID() int { return p.id }
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.env.now }
+
+// Spawn creates a new process running fn and schedules it to start at the
+// current virtual time. It returns immediately; fn runs during Run.
+func (e *Env) Spawn(fn func(p *Proc)) *Proc {
+	p := &Proc{
+		id:     len(e.procs),
+		env:    e,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if e.failure == nil {
+					e.failure = r
+					e.failed = p
+				}
+			}
+			p.done = true
+			p.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.schedule(e.now, p)
+	return p
+}
+
+// schedule enqueues a wake-up for p at time t (clamped to now).
+func (e *Env) schedule(t float64, p *Proc) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{t: t, seq: e.seq, p: p})
+}
+
+// Run executes the simulation until no events remain or a process panics.
+// It returns an error if a process panicked or if processes are still
+// suspended when the event queue drains (a deadlock).
+func (e *Env) Run() error {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.p.done {
+			continue
+		}
+		e.now = ev.t
+		ev.p.resume <- struct{}{}
+		<-ev.p.yield
+		if e.failure != nil {
+			return fmt.Errorf("sim: process %d panicked: %v", e.failed.id, e.failure)
+		}
+	}
+	var stuck int
+	for _, p := range e.procs {
+		if !p.done {
+			stuck++
+		}
+	}
+	if stuck > 0 {
+		return fmt.Errorf("sim: deadlock: %d of %d processes still blocked at t=%g",
+			stuck, len(e.procs), e.now)
+	}
+	return nil
+}
+
+// block hands control back to the kernel and waits to be resumed.
+func (p *Proc) block() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// WaitUntil blocks the calling process until virtual time t. Times in the
+// past resume immediately (at the current time).
+func (p *Proc) WaitUntil(t float64) {
+	p.env.schedule(t, p)
+	p.block()
+}
+
+// Sleep blocks the calling process for d seconds.
+func (p *Proc) Sleep(d float64) { p.WaitUntil(p.env.now + d) }
+
+// Suspend parks the calling process with no scheduled wake-up. Another
+// process must call Wake to resume it.
+func (p *Proc) Suspend() {
+	p.suspended = true
+	p.block()
+	p.suspended = false
+}
+
+// Wake schedules process q to resume at time t (clamped to now). It is the
+// counterpart of Suspend and must be called from the running process.
+func (e *Env) Wake(q *Proc, t float64) {
+	e.schedule(t, q)
+}
+
+// Suspended reports whether the process is parked waiting for a Wake.
+func (p *Proc) Suspended() bool { return p.suspended }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+type event struct {
+	t   float64
+	seq int64
+	p   *Proc
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleProcessAdvancesTime(t *testing.T) {
+	env := NewEnv(1)
+	var at []float64
+	env.Spawn(func(p *Proc) {
+		at = append(at, p.Now())
+		p.Sleep(1.5)
+		at = append(at, p.Now())
+		p.WaitUntil(10)
+		at = append(at, p.Now())
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1.5, 10}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Errorf("at[%d] = %v, want %v", i, at[i], want[i])
+		}
+	}
+	if env.Now() != 10 {
+		t.Errorf("final time = %v, want 10", env.Now())
+	}
+}
+
+func TestWaitUntilPastResumesAtNow(t *testing.T) {
+	env := NewEnv(1)
+	var got float64
+	env.Spawn(func(p *Proc) {
+		p.Sleep(5)
+		p.WaitUntil(1) // in the past
+		got = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Errorf("resumed at %v, want 5", got)
+	}
+}
+
+func TestTwoProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		env := NewEnv(7)
+		var log []string
+		for i := 0; i < 2; i++ {
+			i := i
+			env.Spawn(func(p *Proc) {
+				for k := 0; k < 3; k++ {
+					p.Sleep(float64(i) + 1)
+					log = append(log, string(rune('A'+i))+string(rune('0'+k)))
+				}
+			})
+		}
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 5; trial++ {
+		again := run()
+		if strings.Join(first, ",") != strings.Join(again, ",") {
+			t.Fatalf("nondeterministic order: %v vs %v", first, again)
+		}
+	}
+	// A wakes at 1,2,3; B wakes at 2,4,6. The tie at t=2 is resolved by
+	// scheduling order: B's event was enqueued at t=0, A's at t=1.
+	want := "A0,B0,A1,A2,B1,B2"
+	if got := strings.Join(first, ","); got != want {
+		t.Errorf("order = %s, want %s", got, want)
+	}
+}
+
+func TestSuspendWake(t *testing.T) {
+	env := NewEnv(1)
+	var consumerResumedAt float64
+	var consumer *Proc
+	consumer = env.Spawn(func(p *Proc) {
+		p.Suspend()
+		consumerResumedAt = p.Now()
+	})
+	env.Spawn(func(p *Proc) {
+		p.Sleep(3)
+		if !consumer.Suspended() {
+			t.Error("consumer should be suspended")
+		}
+		p.Env().Wake(consumer, 4.5)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if consumerResumedAt != 4.5 {
+		t.Errorf("consumer resumed at %v, want 4.5", consumerResumedAt)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	env := NewEnv(1)
+	env.Spawn(func(p *Proc) {
+		p.Suspend() // never woken
+	})
+	err := env.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	env := NewEnv(1)
+	env.Spawn(func(p *Proc) {
+		p.Sleep(1)
+		panic("boom")
+	})
+	err := env.Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want panic error, got %v", err)
+	}
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	env := NewEnv(1)
+	var childRanAt float64
+	env.Spawn(func(p *Proc) {
+		p.Sleep(2)
+		p.Env().Spawn(func(c *Proc) {
+			childRanAt = c.Now()
+			c.Sleep(1)
+		})
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childRanAt != 2 {
+		t.Errorf("child started at %v, want 2", childRanAt)
+	}
+	if env.Now() != 3 {
+		t.Errorf("final time %v, want 3", env.Now())
+	}
+}
+
+func TestManyProcessesCompleteInOrder(t *testing.T) {
+	env := NewEnv(42)
+	const n = 200
+	var finish []int
+	rng := rand.New(rand.NewSource(99))
+	delays := make([]float64, n)
+	for i := range delays {
+		delays[i] = rng.Float64() * 100
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		env.Spawn(func(p *Proc) {
+			p.Sleep(delays[i])
+			finish = append(finish, i)
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(finish) != n {
+		t.Fatalf("%d processes finished, want %d", len(finish), n)
+	}
+	// Finish order must be sorted by delay.
+	sorted := sort.SliceIsSorted(finish, func(a, b int) bool {
+		return delays[finish[a]] < delays[finish[b]]
+	})
+	if !sorted {
+		t.Error("processes did not finish in delay order")
+	}
+}
+
+// Property: for any set of non-negative sleeps, virtual time observed by a
+// process is the prefix sum of its sleeps (time never runs backwards and
+// sleeping is exact).
+func TestSleepPrefixSumProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) > 50 {
+			raw = raw[:50]
+		}
+		env := NewEnv(3)
+		ok := true
+		env.Spawn(func(p *Proc) {
+			sum := 0.0
+			for _, r := range raw {
+				d := float64(r) / 1000
+				p.Sleep(d)
+				sum += d
+				if diff := p.Now() - sum; diff > 1e-9 || diff < -1e-9 {
+					ok = false
+				}
+			}
+		})
+		if err := env.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventHeapOrdering(t *testing.T) {
+	env := NewEnv(1)
+	var order []int
+	// Schedule in reverse time order; all from a single proc via Wake of
+	// suspended procs.
+	var waiters []*Proc
+	for i := 0; i < 5; i++ {
+		i := i
+		waiters = append(waiters, env.Spawn(func(p *Proc) {
+			p.Suspend()
+			order = append(order, i)
+		}))
+	}
+	env.Spawn(func(p *Proc) {
+		for i := len(waiters) - 1; i >= 0; i-- {
+			p.Env().Wake(waiters[i], float64(10-i))
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 3, 2, 1, 0} // wake times 6,7,8,9,10 for procs 4..0
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestWakeOnFinishedProcIsHarmless(t *testing.T) {
+	env := NewEnv(1)
+	quick := env.Spawn(func(p *Proc) { p.Sleep(1) })
+	env.Spawn(func(p *Proc) {
+		p.Sleep(5)
+		// quick finished at t=1; a stray wake must be skipped.
+		p.Env().Wake(quick, 6)
+		p.Sleep(2)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if env.Now() != 7 {
+		t.Errorf("final time = %v, want 7", env.Now())
+	}
+}

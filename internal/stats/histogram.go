@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width binning of a sample.
+type Histogram struct {
+	Min, Max, Width float64
+	Counts          []int
+	N               int
+}
+
+// NewHistogram bins xs into nbins equal-width bins spanning [min, max].
+// Empty input or nbins < 1 yields an empty histogram.
+func NewHistogram(xs []float64, nbins int) Histogram {
+	if len(xs) == 0 || nbins < 1 {
+		return Histogram{}
+	}
+	lo, hi := Min(xs), Max(xs)
+	h := Histogram{Min: lo, Max: hi, Counts: make([]int, nbins), N: len(xs)}
+	if hi == lo {
+		h.Counts[0] = len(xs)
+		return h
+	}
+	h.Width = (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		i := int((x - lo) / h.Width)
+		if i >= nbins {
+			i = nbins - 1 // the maximum lands in the last bin
+		}
+		h.Counts[i] = h.Counts[i] + 1
+	}
+	return h
+}
+
+// BinRange returns the half-open interval [lo, hi) covered by bin i.
+func (h Histogram) BinRange(i int) (lo, hi float64) {
+	return h.Min + float64(i)*h.Width, h.Min + float64(i+1)*h.Width
+}
+
+// Fprint renders the histogram as ASCII bars scaled to width characters,
+// with bin edges passed through the format function (e.g. µs conversion).
+func (h Histogram) Fprint(w io.Writer, width int, format func(float64) string) error {
+	if h.N == 0 {
+		_, err := fmt.Fprintln(w, "(empty)")
+		return err
+	}
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.Counts {
+		lo, hi := h.BinRange(i)
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", int(math.Round(float64(c)/float64(maxCount)*float64(width))))
+		}
+		if _, err := fmt.Fprintf(w, "  [%10s, %10s) %6d %s\n",
+			format(lo), format(hi), c, bar); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h := NewHistogram(xs, 5)
+	if h.N != 10 || h.Min != 0 || h.Max != 9 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	for i, want := range []int{2, 2, 2, 2, 2} {
+		if h.Counts[i] != want {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], want)
+		}
+	}
+	lo, hi := h.BinRange(0)
+	if lo != 0 || hi != 1.8 {
+		t.Errorf("bin 0 range = [%v, %v)", lo, hi)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	if h := NewHistogram(nil, 5); h.N != 0 {
+		t.Error("empty input should give empty histogram")
+	}
+	if h := NewHistogram([]float64{1, 2}, 0); h.N != 0 {
+		t.Error("zero bins should give empty histogram")
+	}
+	// Constant sample: everything in bin 0.
+	h := NewHistogram([]float64{3, 3, 3}, 4)
+	if h.Counts[0] != 3 {
+		t.Errorf("constant sample counts = %v", h.Counts)
+	}
+}
+
+// Property: counts sum to the sample size; no count negative.
+func TestHistogramConservesMassProperty(t *testing.T) {
+	f := func(raw []float64, nb8 uint8) bool {
+		nbins := int(nb8%10) + 1
+		var xs []float64
+		for _, v := range raw {
+			if v == v && v < 1e18 && v > -1e18 { // drop NaN/huge
+				xs = append(xs, v)
+			}
+		}
+		h := NewHistogram(xs, nbins)
+		sum := 0
+		for _, c := range h.Counts {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return sum == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramFprint(t *testing.T) {
+	var b strings.Builder
+	h := NewHistogram([]float64{1, 1, 2, 5}, 2)
+	err := h.Fprint(&b, 10, func(v float64) string { return "x" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "#") {
+		t.Errorf("output = %q", b.String())
+	}
+	b.Reset()
+	if err := (Histogram{}).Fprint(&b, 10, nil); err != nil || !strings.Contains(b.String(), "empty") {
+		t.Errorf("empty print = %q, %v", b.String(), err)
+	}
+}

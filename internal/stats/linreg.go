@@ -1,0 +1,63 @@
+package stats
+
+import "math"
+
+// LinReg is a fitted simple linear regression y = Slope*x + Intercept.
+type LinReg struct {
+	Slope, Intercept float64
+	R2               float64
+	N                int
+}
+
+// FitLinear fits y = slope*x + intercept by ordinary least squares using a
+// mean-centered two-pass computation (stable even when x has magnitude 1e4
+// and the residuals are 1e-6, as with clock readings).
+//
+// With fewer than two points, or zero x-variance, it returns a horizontal
+// line through the mean of ys with R2 = 0.
+func FitLinear(xs, ys []float64) LinReg {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	if n == 0 {
+		return LinReg{Intercept: math.NaN()}
+	}
+	if n == 1 {
+		return LinReg{Intercept: ys[0], N: 1}
+	}
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinReg{Intercept: my, N: n}
+	}
+	slope := sxy / sxx
+	r2 := 0.0
+	if syy > 0 {
+		r2 = sxy * sxy / (sxx * syy)
+	} else {
+		r2 = 1 // ys constant and perfectly explained
+	}
+	return LinReg{
+		Slope:     slope,
+		Intercept: my - slope*mx,
+		R2:        r2,
+		N:         n,
+	}
+}
+
+// At evaluates the regression at x.
+func (l LinReg) At(x float64) float64 { return l.Slope*x + l.Intercept }
