@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The engine, simulator, and MPI layers are the concurrency-bearing
+# packages; run them under the race detector.
+race:
+	$(GO) test -race ./internal/sim ./internal/mpi ./internal/harness
+
+check: build vet test race
+
+clean:
+	rm -rf .expcache
+	$(GO) clean ./...

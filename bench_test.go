@@ -28,7 +28,7 @@ func BenchmarkTable1Machines(b *testing.B) {
 func BenchmarkFig2Drift(b *testing.B) {
 	var r2full, r2short float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFig2(experiments.TinyFig2Config())
+		res, err := experiments.RunFig2(nil, experiments.TinyFig2Config())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -49,7 +49,7 @@ func benchSyncAccuracy(b *testing.B, cfg experiments.SyncAccuracyConfig) {
 	var res *experiments.SyncAccuracyResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = experiments.RunSyncAccuracy(cfg)
+		res, err = experiments.RunSyncAccuracy(nil, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -76,7 +76,7 @@ func BenchmarkFig6HierTitan(b *testing.B) { benchSyncAccuracy(b, experiments.Tin
 func BenchmarkFig7BarrierEffect(b *testing.B) {
 	var tree, bruck float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFig7(experiments.TinyFig7Config())
+		res, err := experiments.RunFig7(nil, experiments.TinyFig7Config())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,7 +93,7 @@ func BenchmarkFig8Imbalance(b *testing.B) {
 	cfg.NRuns = 1
 	var tree, ring float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFig8(cfg)
+		res, err := experiments.RunFig8(nil, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,7 +107,7 @@ func BenchmarkFig8Imbalance(b *testing.B) {
 func BenchmarkFig9RoundTime(b *testing.B) {
 	var osu, rt float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFig9(experiments.TinyFig9Config())
+		res, err := experiments.RunFig9(nil, experiments.TinyFig9Config())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,7 +121,7 @@ func BenchmarkFig9RoundTime(b *testing.B) {
 func BenchmarkFig10Trace(b *testing.B) {
 	var localSpread, globalSpread float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFig10(experiments.TinyFig10Config())
+		res, err := experiments.RunFig10(nil, experiments.TinyFig10Config())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -137,7 +137,7 @@ func BenchmarkFig10Trace(b *testing.B) {
 func BenchmarkAblationJKOffsetAlg(b *testing.B) {
 	var meanRTT, skampi float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationJKOffsetAlg(8, 30, 10, 2)
+		res, err := experiments.AblationJKOffsetAlg(nil, 8, 30, 10, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,7 +159,7 @@ func BenchmarkAblationJKOffsetAlg(b *testing.B) {
 func BenchmarkAblationRecomputeIntercept(b *testing.B) {
 	var without, with float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationRecomputeIntercept(8, 30, 10, 2)
+		res, err := experiments.AblationRecomputeIntercept(nil, 8, 30, 10, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -181,7 +181,7 @@ func BenchmarkAblationRecomputeIntercept(b *testing.B) {
 func BenchmarkAblationWander(b *testing.B) {
 	var on, off float64
 	for i := 0; i < b.N; i++ {
-		w1, w0, err := experiments.AblationWander(5, 60)
+		w1, w0, err := experiments.AblationWander(nil, 5, 60)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -263,7 +263,7 @@ func BenchmarkExtDriftAware(b *testing.B) {
 	cfg.Waits = []float64{10}
 	var skampi, hca3 float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunDriftAware(cfg)
+		res, err := experiments.RunDriftAware(nil, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -279,7 +279,7 @@ func BenchmarkExtWindowLoss(b *testing.B) {
 	cfg.NRep = 100
 	var wy, ry float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunWindowLoss(cfg)
+		res, err := experiments.RunWindowLoss(nil, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -294,7 +294,7 @@ func BenchmarkExtTraceCorrection(b *testing.B) {
 	cfg.NIter = 20
 	var interp, once, periodic float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunTraceCorrection(cfg)
+		res, err := experiments.RunTraceCorrection(nil, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -333,7 +333,7 @@ func BenchmarkExtTuning(b *testing.B) {
 	cfg.Job = experiments.Job{Spec: spec, NProcs: 32, Seed: 18}
 	var disagree float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunTuning(cfg)
+		res, err := experiments.RunTuning(nil, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

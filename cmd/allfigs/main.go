@@ -5,40 +5,78 @@
 // Usage:
 //
 //	allfigs [-scale default|tiny] [-ablations] [-outdir DIR]
+//	        [-jobs N] [-cachedir DIR] [-quiet]
 //
-// With -outdir, each section is additionally written to DIR/<name>.txt and
-// the plottable series (Fig. 2 drift curves, Fig. 10 Gantt spans) to CSV
-// files.
+// Simulations are fanned out across -jobs workers through the experiment
+// engine (internal/harness); results are deterministic for a fixed seed
+// regardless of -jobs. With -cachedir, finished simulations are served from
+// the on-disk result cache on the next invocation.
+//
+// With -outdir, each section is additionally written to DIR/<name>.txt, the
+// plottable series (Fig. 2 drift curves, Fig. 10 Gantt spans) to CSV files,
+// and the run's accounting to DIR/BENCH_allfigs.json (per-section wall time,
+// sims/sec, cache-hit rate) and DIR/manifest.json (the full reproducibility
+// receipt: every task's config, seed, and cache status). Timing goes to
+// stderr and the JSON artifacts only, so section outputs are byte-comparable
+// across runs and -jobs settings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"hclocksync/internal/experiments"
+	"hclocksync/internal/harness"
 )
 
 type runner struct {
 	tiny   bool
 	outdir string
+	eng    *harness.Engine
+	bench  []benchSection
+}
+
+// benchSection is one row of BENCH_allfigs.json.
+type benchSection struct {
+	Name        string  `json:"name"`
+	WallSec     float64 `json:"wall_s"`
+	Sims        int     `json:"sims"`
+	SimsPerSec  float64 `json:"sims_per_sec"`
+	CacheHits   int     `json:"cache_hits"`
+	CacheMisses int     `json:"cache_misses"`
+	HitRate     float64 `json:"cache_hit_rate"`
 }
 
 func main() {
 	scale := flag.String("scale", "default", "default or tiny")
 	ablations := flag.Bool("ablations", false, "also run the ablation studies and extensions")
-	outdir := flag.String("outdir", "", "also write per-section .txt/.csv artifacts to this directory")
+	outdir := flag.String("outdir", "", "also write per-section .txt/.csv artifacts, BENCH_allfigs.json, and manifest.json to this directory")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "simulations to run concurrently")
+	cachedir := flag.String("cachedir", "", "serve repeated simulations from this result-cache directory")
+	quiet := flag.Bool("quiet", false, "suppress progress and timing lines on stderr")
 	flag.Parse()
 
-	r := runner{tiny: *scale == "tiny", outdir: *outdir}
+	opts := harness.Options{Jobs: *jobs, CacheDir: *cachedir}
+	if !*quiet {
+		opts.Reporter = harness.NewProgressReporter(os.Stderr)
+	}
+	r := &runner{
+		tiny:   *scale == "tiny",
+		outdir: *outdir,
+		eng:    harness.New(opts),
+	}
 	if r.outdir != "" {
 		if err := os.MkdirAll(r.outdir, 0o755); err != nil {
 			fail("outdir", err)
 		}
 	}
+	quietly := *quiet
 	start := time.Now()
 
 	r.section("table1", "Table I — machines", func(w io.Writer) error {
@@ -46,11 +84,11 @@ func main() {
 		return nil
 	})
 
-	cfg2 := pick(r.tiny, experiments.TinyFig2Config, experiments.DefaultFig2Config)
-	res2, err := experiments.RunFig2(cfg2)
-	if err != nil {
-		fail("fig2", err)
-	}
+	var res2 *experiments.Fig2Result
+	r.timed("fig2", quietly, func() (err error) {
+		res2, err = experiments.RunFig2(r.eng, pick(r.tiny, experiments.TinyFig2Config, experiments.DefaultFig2Config))
+		return err
+	})
 	r.section("fig2", "Fig. 2 — clock drift", func(w io.Writer) error {
 		res2.Print(w)
 		return nil
@@ -74,53 +112,53 @@ func main() {
 			experiments.TinyFig6Config, experiments.DefaultFig6Config},
 	}
 	for _, f := range syncFigs {
-		cfg := pick(r.tiny, f.tiny, f.def)
-		res, err := experiments.RunSyncAccuracy(cfg)
-		if err != nil {
-			fail(f.name, err)
-		}
+		var res *experiments.SyncAccuracyResult
+		r.timed(f.name, quietly, func() (err error) {
+			res, err = experiments.RunSyncAccuracy(r.eng, pick(r.tiny, f.tiny, f.def))
+			return err
+		})
 		r.section(f.name, f.title, func(w io.Writer) error {
 			res.Print(w)
 			return nil
 		})
 	}
 
-	cfg7 := pick(r.tiny, experiments.TinyFig7Config, experiments.DefaultFig7Config)
-	res7, err := experiments.RunFig7(cfg7)
-	if err != nil {
-		fail("fig7", err)
-	}
+	var res7 *experiments.Fig7Result
+	r.timed("fig7", quietly, func() (err error) {
+		res7, err = experiments.RunFig7(r.eng, pick(r.tiny, experiments.TinyFig7Config, experiments.DefaultFig7Config))
+		return err
+	})
 	r.section("fig7", "Fig. 7 — benchmark suite x barrier algorithm", func(w io.Writer) error {
 		res7.Print(w)
 		return nil
 	})
 
-	cfg8 := pick(r.tiny, experiments.TinyFig8Config, experiments.DefaultFig8Config)
-	res8, err := experiments.RunFig8(cfg8)
-	if err != nil {
-		fail("fig8", err)
-	}
+	var res8 *experiments.Fig8Result
+	r.timed("fig8", quietly, func() (err error) {
+		res8, err = experiments.RunFig8(r.eng, pick(r.tiny, experiments.TinyFig8Config, experiments.DefaultFig8Config))
+		return err
+	})
 	r.section("fig8", "Fig. 8 — barrier exit imbalance", func(w io.Writer) error {
 		res8.Print(w)
 		res8.PrintHistograms(w, 12)
 		return nil
 	})
 
-	cfg9 := pick(r.tiny, experiments.TinyFig9Config, experiments.DefaultFig9Config)
-	res9, err := experiments.RunFig9(cfg9)
-	if err != nil {
-		fail("fig9", err)
-	}
+	var res9 *experiments.Fig9Result
+	r.timed("fig9", quietly, func() (err error) {
+		res9, err = experiments.RunFig9(r.eng, pick(r.tiny, experiments.TinyFig9Config, experiments.DefaultFig9Config))
+		return err
+	})
 	r.section("fig9", "Fig. 9 — OSU vs Round-Time across message sizes", func(w io.Writer) error {
 		res9.Print(w)
 		return nil
 	})
 
-	cfg10 := pick(r.tiny, experiments.TinyFig10Config, experiments.DefaultFig10Config)
-	res10, err := experiments.RunFig10(cfg10)
-	if err != nil {
-		fail("fig10", err)
-	}
+	var res10 *experiments.Fig10Result
+	r.timed("fig10", quietly, func() (err error) {
+		res10, err = experiments.RunFig10(r.eng, pick(r.tiny, experiments.TinyFig10Config, experiments.DefaultFig10Config))
+		return err
+	})
 	r.section("fig10", "Fig. 10 — AMG2013 trace Gantt", func(w io.Writer) error {
 		res10.Print(w)
 		return nil
@@ -128,34 +166,39 @@ func main() {
 	r.artifact("fig10_spans.csv", res10.WriteCSV)
 
 	if *ablations {
-		r.runAblations()
-		r.runExtensions()
+		r.runAblations(quietly)
+		r.runExtensions(quietly)
 	}
 
-	fmt.Printf("\nall experiments completed in %v\n", time.Since(start).Round(time.Millisecond))
+	if r.outdir != "" {
+		r.writeBench(start)
+		r.writeManifest(start)
+	}
+	fmt.Fprintf(os.Stderr, "allfigs: all experiments completed in %v\n",
+		time.Since(start).Round(time.Millisecond))
 }
 
-func (r runner) runAblations() {
+func (r *runner) runAblations(quiet bool) {
 	n, nfit, nexch, runs := 16, 60, 15, 3
 	if r.tiny {
 		n, nfit, nexch, runs = 8, 30, 10, 2
-	}
-	a1, err := experiments.AblationJKOffsetAlg(n, nfit, nexch, runs)
-	if err != nil {
-		fail("ablation jk", err)
-	}
-	a2, err := experiments.AblationRecomputeIntercept(n, nfit, nexch, runs)
-	if err != nil {
-		fail("ablation recompute", err)
 	}
 	horizon := 200.0
 	if r.tiny {
 		horizon = 60
 	}
-	w1, w0, err := experiments.AblationWander(6, horizon)
-	if err != nil {
-		fail("ablation wander", err)
-	}
+	var a1, a2 *experiments.SyncAccuracyResult
+	var w1, w0 *experiments.Fig2Result
+	r.timed("ablations", quiet, func() (err error) {
+		if a1, err = experiments.AblationJKOffsetAlg(r.eng, n, nfit, nexch, runs); err != nil {
+			return err
+		}
+		if a2, err = experiments.AblationRecomputeIntercept(r.eng, n, nfit, nexch, runs); err != nil {
+			return err
+		}
+		w1, w0, err = experiments.AblationWander(r.eng, 6, horizon)
+		return err
+	})
 	r.section("ablations", "Ablations", func(w io.Writer) error {
 		experiments.PrintAblation(w, "JK offset algorithm (paper III-C3 side-finding)", a1)
 		experiments.PrintAblation(w, "recompute_intercept (Alg. 2)", a2)
@@ -168,23 +211,24 @@ func (r runner) runAblations() {
 	})
 }
 
-func (r runner) runExtensions() {
-	da, err := experiments.RunDriftAware(experiments.DefaultDriftAwareConfig())
-	if err != nil {
-		fail("driftaware", err)
-	}
-	wl, err := experiments.RunWindowLoss(experiments.DefaultWindowLossConfig())
-	if err != nil {
-		fail("windowloss", err)
-	}
-	tc, err := experiments.RunTraceCorrection(experiments.DefaultTraceCorrectionConfig())
-	if err != nil {
-		fail("tracecorrection", err)
-	}
-	tu, err := experiments.RunTuning(experiments.DefaultTuningConfig())
-	if err != nil {
-		fail("tuning", err)
-	}
+func (r *runner) runExtensions(quiet bool) {
+	var da *experiments.DriftAwareResult
+	var wl *experiments.WindowLossResult
+	var tc *experiments.TraceCorrectionResult
+	var tu *experiments.TuningResult
+	r.timed("extensions", quiet, func() (err error) {
+		if da, err = experiments.RunDriftAware(r.eng, experiments.DefaultDriftAwareConfig()); err != nil {
+			return err
+		}
+		if wl, err = experiments.RunWindowLoss(r.eng, experiments.DefaultWindowLossConfig()); err != nil {
+			return err
+		}
+		if tc, err = experiments.RunTraceCorrection(r.eng, experiments.DefaultTraceCorrectionConfig()); err != nil {
+			return err
+		}
+		tu, err = experiments.RunTuning(r.eng, experiments.DefaultTuningConfig())
+		return err
+	})
 	r.section("extensions", "Extensions beyond the paper's figures", func(w io.Writer) error {
 		da.Print(w)
 		wl.Print(w)
@@ -194,8 +238,86 @@ func (r runner) runExtensions() {
 	})
 }
 
+// timed runs one section's simulations, recording wall time plus the cache
+// accounting of every suite the engine completed inside it. Timing lines go
+// to stderr so section outputs stay byte-comparable across runs.
+func (r *runner) timed(name string, quiet bool, fn func() error) {
+	before := len(r.eng.Manifests())
+	start := time.Now()
+	if err := fn(); err != nil {
+		fail(name, err)
+	}
+	sec := benchSection{Name: name, WallSec: time.Since(start).Seconds()}
+	for _, m := range r.eng.Manifests()[before:] {
+		sec.Sims += m.Sims
+		sec.CacheHits += m.CacheHits
+		sec.CacheMisses += m.CacheMisses
+	}
+	if sec.WallSec > 0 {
+		sec.SimsPerSec = float64(sec.Sims) / sec.WallSec
+	}
+	if sec.Sims > 0 {
+		sec.HitRate = float64(sec.CacheHits) / float64(sec.Sims)
+	}
+	r.bench = append(r.bench, sec)
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "allfigs: %s: %.2fs wall, %d sims, %.1f sims/s, %d cached\n",
+			name, sec.WallSec, sec.Sims, sec.SimsPerSec, sec.CacheHits)
+	}
+}
+
+// writeBench emits BENCH_allfigs.json: the per-section timing table.
+func (r *runner) writeBench(start time.Time) {
+	total := struct {
+		Tool     string         `json:"tool"`
+		Version  string         `json:"version"`
+		Jobs     int            `json:"jobs"`
+		WallSec  float64        `json:"wall_s"`
+		Sims     int            `json:"sims"`
+		Hits     int            `json:"cache_hits"`
+		HitRate  float64        `json:"cache_hit_rate"`
+		Sections []benchSection `json:"sections"`
+	}{
+		Tool: "allfigs", Version: harness.CodeVersion(), Jobs: r.eng.Jobs(),
+		WallSec: time.Since(start).Seconds(), Sections: r.bench,
+	}
+	for _, s := range r.bench {
+		total.Sims += s.Sims
+		total.Hits += s.CacheHits
+	}
+	if total.Sims > 0 {
+		total.HitRate = float64(total.Hits) / float64(total.Sims)
+	}
+	raw, err := json.MarshalIndent(total, "", "  ")
+	if err != nil {
+		fail("BENCH_allfigs.json", err)
+	}
+	if err := os.WriteFile(filepath.Join(r.outdir, "BENCH_allfigs.json"), append(raw, '\n'), 0o644); err != nil {
+		fail("BENCH_allfigs.json", err)
+	}
+}
+
+// writeManifest emits manifest.json: the run's reproducibility receipt with
+// the per-section wall-clock table attached.
+func (r *runner) writeManifest(start time.Time) {
+	m := struct {
+		*harness.RunManifest
+		Sections []benchSection `json:"sections"`
+	}{
+		RunManifest: harness.NewRunManifest("allfigs", r.eng, start, r.eng.Manifests()),
+		Sections:    r.bench,
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		fail("manifest.json", err)
+	}
+	if err := os.WriteFile(filepath.Join(r.outdir, "manifest.json"), append(raw, '\n'), 0o644); err != nil {
+		fail("manifest.json", err)
+	}
+}
+
 // section prints a titled block to stdout and, with -outdir, to name.txt.
-func (r runner) section(name, title string, emit func(io.Writer) error) {
+func (r *runner) section(name, title string, emit func(io.Writer) error) {
 	fmt.Printf("\n==================== %s ====================\n", title)
 	if err := emit(os.Stdout); err != nil {
 		fail(name, err)
@@ -206,7 +328,7 @@ func (r runner) section(name, title string, emit func(io.Writer) error) {
 }
 
 // artifact writes one file into -outdir (no-op when unset).
-func (r runner) artifact(name string, emit func(io.Writer) error) {
+func (r *runner) artifact(name string, emit func(io.Writer) error) {
 	if r.outdir == "" {
 		return
 	}

@@ -5,14 +5,17 @@
 // Usage:
 //
 //	collbench [-fig 7|9] [-rep N] [-runs N] [-scale default|tiny] [-seed S]
+//	          [-jobs N] [-cachedir DIR]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"hclocksync/internal/experiments"
+	"hclocksync/internal/harness"
 )
 
 func main() {
@@ -21,7 +24,11 @@ func main() {
 	runs := flag.Int("runs", 0, "override mpiruns (fig 9)")
 	scale := flag.String("scale", "default", "default or tiny")
 	seed := flag.Int64("seed", 0, "override the simulation seed")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "simulations to run concurrently")
+	cachedir := flag.String("cachedir", "", "serve repeated simulations from this result-cache directory")
 	flag.Parse()
+
+	eng := harness.New(harness.Options{Jobs: *jobs, CacheDir: *cachedir})
 
 	switch *fig {
 	case 7:
@@ -35,7 +42,7 @@ func main() {
 		if *seed != 0 {
 			cfg.Job.Seed = *seed
 		}
-		res, err := experiments.RunFig7(cfg)
+		res, err := experiments.RunFig7(eng, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "collbench:", err)
 			os.Exit(1)
@@ -55,7 +62,7 @@ func main() {
 		if *seed != 0 {
 			cfg.Job.Seed = *seed
 		}
-		res, err := experiments.RunFig9(cfg)
+		res, err := experiments.RunFig9(eng, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "collbench:", err)
 			os.Exit(1)

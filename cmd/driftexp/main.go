@@ -6,6 +6,7 @@
 // Usage:
 //
 //	driftexp [-duration 200] [-every 2] [-procs 10] [-seed 1] [-series]
+//	         [-jobs N] [-cachedir DIR]
 //
 // With -series the raw (rank, t, offset) points are emitted as CSV for
 // plotting Fig. 2a; otherwise per-rank fit summaries are printed.
@@ -15,8 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"hclocksync/internal/experiments"
+	"hclocksync/internal/harness"
 )
 
 func main() {
@@ -26,13 +29,16 @@ func main() {
 	procs := flag.Int("procs", cfg.Job.NProcs, "ranks (one per node)")
 	seed := flag.Int64("seed", cfg.Job.Seed, "simulation seed")
 	series := flag.Bool("series", false, "emit raw CSV series instead of summaries")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "simulations to run concurrently")
+	cachedir := flag.String("cachedir", "", "serve repeated simulations from this result-cache directory")
 	flag.Parse()
 
 	cfg.Duration = *duration
 	cfg.SampleEvery = *every
 	cfg.Job.NProcs = *procs
 	cfg.Job.Seed = *seed
-	res, err := experiments.RunFig2(cfg)
+	eng := harness.New(harness.Options{Jobs: *jobs, CacheDir: *cachedir})
+	res, err := experiments.RunFig2(eng, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "driftexp:", err)
 		os.Exit(1)

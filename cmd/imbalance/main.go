@@ -5,15 +5,17 @@
 //
 // Usage:
 //
-//	imbalance [-calls 500] [-runs 5] [-seed S] [-hist]
+//	imbalance [-calls 500] [-runs 5] [-seed S] [-hist] [-jobs N] [-cachedir DIR]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"hclocksync/internal/experiments"
+	"hclocksync/internal/harness"
 )
 
 func main() {
@@ -22,12 +24,15 @@ func main() {
 	runs := flag.Int("runs", cfg.NRuns, "mpiruns")
 	seed := flag.Int64("seed", cfg.Job.Seed, "simulation seed")
 	hist := flag.Bool("hist", false, "also print per-barrier ASCII histograms")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "simulations to run concurrently")
+	cachedir := flag.String("cachedir", "", "serve repeated simulations from this result-cache directory")
 	flag.Parse()
 
 	cfg.NCalls = *calls
 	cfg.NRuns = *runs
 	cfg.Job.Seed = *seed
-	res, err := experiments.RunFig8(cfg)
+	eng := harness.New(harness.Options{Jobs: *jobs, CacheDir: *cachedir})
+	res, err := experiments.RunFig8(eng, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "imbalance:", err)
 		os.Exit(1)

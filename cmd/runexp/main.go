@@ -1,0 +1,242 @@
+// Command runexp runs arbitrary experiment suites through the parallel
+// experiment engine (internal/harness), with deterministic seeding, a
+// persistent result cache, and a run manifest.
+//
+// Usage:
+//
+//	runexp -suite NAME[,NAME...]|all [-scale default|tiny] [-jobs N]
+//	       [-cache DIR] [-outdir DIR] [-seed S] [-quiet]
+//	runexp -list
+//
+// Each suite's simulations are fanned out across -jobs workers; for a fixed
+// seed the results are identical at any -jobs setting. Finished simulations
+// are stored content-addressed in -cache (default .expcache), so re-running
+// an interrupted or repeated invocation re-simulates only what is missing —
+// that is the resume story: kill runexp at any point and run the same
+// command line again, and completed work is served from disk.
+//
+// With -outdir, every suite's output is written to DIR/<suite>.txt and the
+// run's manifest — every task's config, derived seed, wall time, and
+// whether it was served from cache — to DIR/manifest.json. A summary line
+// with the cache-hit rate is always printed at the end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"hclocksync/internal/experiments"
+	"hclocksync/internal/harness"
+)
+
+// printer is the common surface of every experiment result.
+type printer interface{ Print(w io.Writer) }
+
+// suiteDef is one runnable entry of the registry.
+type suiteDef struct {
+	name  string
+	title string
+	run   func(eng *harness.Engine, tiny bool, seed int64) (printer, error)
+}
+
+// seeded applies the -seed override to a Job-carrying config.
+func seeded(seed int64, base *int64) {
+	if seed != 0 {
+		*base = seed
+	}
+}
+
+func registry() []suiteDef {
+	pickSync := func(tiny bool, tinyFn, defFn func() experiments.SyncAccuracyConfig) experiments.SyncAccuracyConfig {
+		if tiny {
+			return tinyFn()
+		}
+		return defFn()
+	}
+	syncSuite := func(name, title string, tinyFn, defFn func() experiments.SyncAccuracyConfig) suiteDef {
+		return suiteDef{name, title, func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+			cfg := pickSync(tiny, tinyFn, defFn)
+			seeded(seed, &cfg.Job.Seed)
+			return experiments.RunSyncAccuracy(eng, cfg)
+		}}
+	}
+	return []suiteDef{
+		{"fig2", "Fig. 2 — clock drift", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+			cfg := experiments.DefaultFig2Config()
+			if tiny {
+				cfg = experiments.TinyFig2Config()
+			}
+			seeded(seed, &cfg.Job.Seed)
+			return experiments.RunFig2(eng, cfg)
+		}},
+		syncSuite("fig3", "Fig. 3 — HCA/HCA2/HCA3/JK accuracy vs duration",
+			experiments.TinyFig3Config, experiments.DefaultFig3Config),
+		syncSuite("fig4", "Fig. 4 — HCA3 vs H2HCA, Jupiter",
+			experiments.TinyFig4Config, experiments.DefaultFig4Config),
+		syncSuite("fig5", "Fig. 5 — HCA3 vs H2HCA, Hydra",
+			experiments.TinyFig5Config, experiments.DefaultFig5Config),
+		syncSuite("fig6", "Fig. 6 — HCA3 vs H2HCA, Titan",
+			experiments.TinyFig6Config, experiments.DefaultFig6Config),
+		{"fig7", "Fig. 7 — benchmark suite x barrier algorithm", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+			cfg := experiments.DefaultFig7Config()
+			if tiny {
+				cfg = experiments.TinyFig7Config()
+			}
+			seeded(seed, &cfg.Job.Seed)
+			return experiments.RunFig7(eng, cfg)
+		}},
+		{"fig8", "Fig. 8 — barrier exit imbalance", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+			cfg := experiments.DefaultFig8Config()
+			if tiny {
+				cfg = experiments.TinyFig8Config()
+			}
+			seeded(seed, &cfg.Job.Seed)
+			return experiments.RunFig8(eng, cfg)
+		}},
+		{"fig9", "Fig. 9 — OSU vs Round-Time across message sizes", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+			cfg := experiments.DefaultFig9Config()
+			if tiny {
+				cfg = experiments.TinyFig9Config()
+			}
+			seeded(seed, &cfg.Job.Seed)
+			return experiments.RunFig9(eng, cfg)
+		}},
+		{"fig10", "Fig. 10 — AMG2013 trace Gantt", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+			cfg := experiments.DefaultFig10Config()
+			if tiny {
+				cfg = experiments.TinyFig10Config()
+			}
+			seeded(seed, &cfg.Job.Seed)
+			return experiments.RunFig10(eng, cfg)
+		}},
+		{"driftaware", "Offset-only vs drift-aware global clocks", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+			cfg := experiments.DefaultDriftAwareConfig()
+			if tiny {
+				cfg.NRuns = 2
+			}
+			seeded(seed, &cfg.Job.Seed)
+			return experiments.RunDriftAware(eng, cfg)
+		}},
+		{"windowloss", "Window cascade vs Round-Time yield", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+			cfg := experiments.DefaultWindowLossConfig()
+			if tiny {
+				cfg.NRep = 100
+			}
+			seeded(seed, &cfg.Job.Seed)
+			return experiments.RunWindowLoss(eng, cfg)
+		}},
+		{"tracecorr", "Timestamp correction over a long trace", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+			cfg := experiments.DefaultTraceCorrectionConfig()
+			if tiny {
+				cfg.NIter, cfg.ComputePer = 20, 2
+			}
+			seeded(seed, &cfg.Job.Seed)
+			return experiments.RunTraceCorrection(eng, cfg)
+		}},
+		{"tuning", "PGMPITuneLib-style algorithm selection", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+			cfg := experiments.DefaultTuningConfig()
+			if tiny {
+				cfg.NRep, cfg.MSizes = 10, []int{8, 8192}
+			}
+			seeded(seed, &cfg.Job.Seed)
+			return experiments.RunTuning(eng, cfg)
+		}},
+	}
+}
+
+func main() {
+	suites := flag.String("suite", "", "comma-separated suite names, or \"all\"")
+	scale := flag.String("scale", "default", "default or tiny")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "simulations to run concurrently")
+	cache := flag.String("cache", ".expcache", "result-cache directory (empty disables caching)")
+	outdir := flag.String("outdir", "", "write per-suite .txt outputs and manifest.json here")
+	seed := flag.Int64("seed", 0, "override every suite's base seed")
+	list := flag.Bool("list", false, "list available suites and exit")
+	quiet := flag.Bool("quiet", false, "suppress progress lines on stderr")
+	flag.Parse()
+
+	reg := registry()
+	if *list {
+		for _, s := range reg {
+			fmt.Printf("%-12s %s\n", s.name, s.title)
+		}
+		return
+	}
+	if *suites == "" {
+		fmt.Fprintln(os.Stderr, "runexp: -suite is required (try -list)")
+		os.Exit(2)
+	}
+	var selected []suiteDef
+	if *suites == "all" {
+		selected = reg
+	} else {
+		byName := map[string]suiteDef{}
+		for _, s := range reg {
+			byName[s.name] = s
+		}
+		for _, name := range strings.Split(*suites, ",") {
+			s, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				var known []string
+				for n := range byName {
+					known = append(known, n)
+				}
+				sort.Strings(known)
+				fmt.Fprintf(os.Stderr, "runexp: unknown suite %q (known: %s)\n",
+					name, strings.Join(known, ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, s)
+		}
+	}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fail(err)
+		}
+	}
+
+	opts := harness.Options{Jobs: *jobs, CacheDir: *cache}
+	if !*quiet {
+		opts.Reporter = harness.NewProgressReporter(os.Stderr)
+	}
+	eng := harness.New(opts)
+	start := time.Now()
+
+	for _, s := range selected {
+		res, err := s.run(eng, *scale == "tiny", *seed)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", s.name, err))
+		}
+		fmt.Printf("\n==================== %s ====================\n", s.title)
+		res.Print(os.Stdout)
+		if *outdir != "" {
+			f, err := os.Create(filepath.Join(*outdir, s.name+".txt"))
+			if err != nil {
+				fail(err)
+			}
+			res.Print(f)
+			f.Close()
+		}
+	}
+
+	m := harness.NewRunManifest("runexp", eng, start, eng.Manifests())
+	if *outdir != "" {
+		if err := m.Write(filepath.Join(*outdir, "manifest.json")); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Printf("\nrunexp: %d sims in %v, %d served from cache (%.0f%% hit rate)\n",
+		m.Sims, time.Since(start).Round(time.Millisecond), m.CacheHits, 100*m.HitRate())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "runexp:", err)
+	os.Exit(1)
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	syncbench [-fig 3|4|5|6] [-runs N] [-wait 10] [-scale default|tiny] [-seed S]
+//	          [-jobs N] [-cachedir DIR]
 //
 // -fig selects the paper figure: 3 compares HCA/HCA2/HCA3/JK on Jupiter;
 // 4–6 compare flat HCA3 against the hierarchical H2HCA on Jupiter, Hydra,
@@ -17,8 +18,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"hclocksync/internal/experiments"
+	"hclocksync/internal/harness"
 )
 
 func main() {
@@ -27,6 +30,8 @@ func main() {
 	wait := flag.Float64("wait", 0, "override the wait time (seconds)")
 	scale := flag.String("scale", "default", "default or tiny")
 	seed := flag.Int64("seed", 0, "override the simulation seed")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "simulations to run concurrently")
+	cachedir := flag.String("cachedir", "", "serve repeated simulations from this result-cache directory")
 	flag.Parse()
 
 	var cfg experiments.SyncAccuracyConfig
@@ -64,7 +69,8 @@ func main() {
 	if *seed != 0 {
 		cfg.Job.Seed = *seed
 	}
-	res, err := experiments.RunSyncAccuracy(cfg)
+	eng := harness.New(harness.Options{Jobs: *jobs, CacheDir: *cachedir})
+	res, err := experiments.RunSyncAccuracy(eng, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "syncbench:", err)
 		os.Exit(1)

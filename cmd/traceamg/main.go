@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	traceamg [-iter 10] [-csv] [-scale default|tiny] [-seed S]
+//	traceamg [-iter 10] [-csv] [-scale default|tiny] [-seed S] [-jobs N] [-cachedir DIR]
 //
 // With -csv the normalized per-rank spans of every panel are emitted for
 // external plotting.
@@ -15,8 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"hclocksync/internal/experiments"
+	"hclocksync/internal/harness"
 )
 
 func main() {
@@ -24,6 +26,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit normalized spans as CSV")
 	scale := flag.String("scale", "default", "default or tiny")
 	seed := flag.Int64("seed", 0, "override the simulation seed")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "simulations to run concurrently")
+	cachedir := flag.String("cachedir", "", "serve repeated simulations from this result-cache directory")
 	flag.Parse()
 
 	cfg := experiments.DefaultFig10Config()
@@ -34,7 +38,8 @@ func main() {
 	if *seed != 0 {
 		cfg.Job.Seed = *seed
 	}
-	res, err := experiments.RunFig10(cfg)
+	eng := harness.New(harness.Options{Jobs: *jobs, CacheDir: *cachedir})
+	res, err := experiments.RunFig10(eng, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "traceamg:", err)
 		os.Exit(1)

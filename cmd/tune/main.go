@@ -7,15 +7,17 @@
 //
 // Usage:
 //
-//	tune [-procs 64] [-rep 30] [-seed S]
+//	tune [-procs 64] [-rep 30] [-seed S] [-jobs N] [-cachedir DIR]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"hclocksync/internal/experiments"
+	"hclocksync/internal/harness"
 )
 
 func main() {
@@ -23,12 +25,15 @@ func main() {
 	procs := flag.Int("procs", cfg.Job.NProcs, "number of ranks")
 	rep := flag.Int("rep", cfg.NRep, "repetitions per candidate and size")
 	seed := flag.Int64("seed", cfg.Job.Seed, "simulation seed")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "simulations to run concurrently")
+	cachedir := flag.String("cachedir", "", "serve repeated simulations from this result-cache directory")
 	flag.Parse()
 
 	cfg.Job.NProcs = *procs
 	cfg.NRep = *rep
 	cfg.Job.Seed = *seed
-	res, err := experiments.RunTuning(cfg)
+	eng := harness.New(harness.Options{Jobs: *jobs, CacheDir: *cachedir})
+	res, err := experiments.RunTuning(eng, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tune:", err)
 		os.Exit(1)

@@ -6,6 +6,7 @@ import (
 
 	"hclocksync/internal/clocksync"
 	"hclocksync/internal/cluster"
+	"hclocksync/internal/harness"
 )
 
 // Ablation experiments probe the design choices the paper (and DESIGN.md)
@@ -15,10 +16,10 @@ import (
 // AblationJKOffsetAlg reproduces the paper's §III-C3 side-finding: swapping
 // JK's native Mean-RTT-Offset for SKaMPI-Offset "boosts the global clock
 // precision of JK significantly".
-func AblationJKOffsetAlg(nprocs, nfit, nexch int, nruns int) (*SyncAccuracyResult, error) {
+func AblationJKOffsetAlg(eng *harness.Engine, nprocs, nfit, nexch int, nruns int) (*SyncAccuracyResult, error) {
 	spec := cluster.Jupiter()
 	spec.Nodes, spec.CoresPerSocket = nprocs/2, 1
-	return RunSyncAccuracy(SyncAccuracyConfig{
+	return RunSyncAccuracy(eng, SyncAccuracyConfig{
 		Job:      Job{Spec: spec, NProcs: nprocs, Seed: 11},
 		NRuns:    nruns,
 		WaitTime: 5,
@@ -37,13 +38,13 @@ func AblationJKOffsetAlg(nprocs, nfit, nexch int, nruns int) (*SyncAccuracyResul
 // AblationRecomputeIntercept isolates HCA3's recompute_intercept flag
 // (Alg. 2): re-anchoring the intercept after the regression should improve
 // the offset right after synchronization.
-func AblationRecomputeIntercept(nprocs, nfit, nexch, nruns int) (*SyncAccuracyResult, error) {
+func AblationRecomputeIntercept(eng *harness.Engine, nprocs, nfit, nexch, nruns int) (*SyncAccuracyResult, error) {
 	spec := cluster.Jupiter()
 	spec.Nodes, spec.CoresPerSocket = nprocs/2, 1
 	off := clocksync.SKaMPIOffset{NExchanges: nexch}
 	with := clocksync.Params{NFitpoints: nfit, Offset: off, RecomputeIntercept: true}
 	without := clocksync.Params{NFitpoints: nfit, Offset: off}
-	return RunSyncAccuracy(SyncAccuracyConfig{
+	return RunSyncAccuracy(eng, SyncAccuracyConfig{
 		Job:      Job{Spec: spec, NProcs: nprocs, Seed: 12},
 		NRuns:    nruns,
 		WaitTime: 5,
@@ -61,7 +62,7 @@ func AblationRecomputeIntercept(nprocs, nfit, nexch, nruns int) (*SyncAccuracyRe
 // so the full-horizon R² of a linear fit collapses the difference into one
 // number — with wander off, drift is a perfect line (R² ≈ 1) however long
 // you watch.
-func AblationWander(nprocs int, horizon float64) (withWander, withoutWander *Fig2Result, err error) {
+func AblationWander(eng *harness.Engine, nprocs int, horizon float64) (withWander, withoutWander *Fig2Result, err error) {
 	mk := func(wander bool) Fig2Config {
 		cfg := DefaultFig2Config()
 		cfg.Job.NProcs = nprocs
@@ -73,11 +74,11 @@ func AblationWander(nprocs int, horizon float64) (withWander, withoutWander *Fig
 		}
 		return cfg
 	}
-	withWander, err = RunFig2(mk(true))
+	withWander, err = RunFig2(eng, mk(true))
 	if err != nil {
 		return nil, nil, err
 	}
-	withoutWander, err = RunFig2(mk(false))
+	withoutWander, err = RunFig2(eng, mk(false))
 	if err != nil {
 		return nil, nil, err
 	}

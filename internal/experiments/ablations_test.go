@@ -6,7 +6,7 @@ import (
 )
 
 func TestAblationJKOffsetAlgRuns(t *testing.T) {
-	res, err := AblationJKOffsetAlg(8, 30, 10, 2)
+	res, err := AblationJKOffsetAlg(nil, 8, 30, 10, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +27,7 @@ func TestAblationJKOffsetAlgRuns(t *testing.T) {
 }
 
 func TestAblationWanderMakesDriftNonlinear(t *testing.T) {
-	with, without, err := AblationWander(5, 120)
+	with, without, err := AblationWander(nil, 5, 120)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestAblationWanderMakesDriftNonlinear(t *testing.T) {
 }
 
 func TestAblationRecomputeInterceptRuns(t *testing.T) {
-	res, err := AblationRecomputeIntercept(8, 30, 10, 2)
+	res, err := AblationRecomputeIntercept(nil, 8, 30, 10, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

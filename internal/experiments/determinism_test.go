@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"hclocksync/internal/harness"
+)
+
+// TestParallelRunsAreByteIdentical is the engine's core guarantee applied to
+// a real experiment: the same suite run serially, on a wide worker pool, and
+// under different GOMAXPROCS settings must print byte-identical output,
+// because every simulation's seed is a pure function of (suite, seed key,
+// base seed) and results are reassembled in submission order.
+func TestParallelRunsAreByteIdentical(t *testing.T) {
+	cfg := TinyFig3Config()
+	cfg.NRuns = 3
+	cfg.Algorithms = cfg.Algorithms[:2]
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	render := func(jobs, procs int) string {
+		runtime.GOMAXPROCS(procs)
+		eng := harness.New(harness.Options{Jobs: jobs})
+		res, err := RunSyncAccuracy(eng, cfg)
+		if err != nil {
+			t.Fatalf("jobs=%d GOMAXPROCS=%d: %v", jobs, procs, err)
+		}
+		var b strings.Builder
+		res.Print(&b)
+		return b.String()
+	}
+
+	ref := render(1, 1)
+	if ref == "" {
+		t.Fatal("empty output")
+	}
+	for _, c := range []struct{ jobs, procs int }{{1, 8}, {8, 1}, {8, 8}} {
+		if got := render(c.jobs, c.procs); got != ref {
+			t.Errorf("output differs at jobs=%d GOMAXPROCS=%d vs jobs=1 GOMAXPROCS=1:\n--- ref ---\n%s\n--- got ---\n%s",
+				c.jobs, c.procs, ref, got)
+		}
+	}
+}
+
+// TestMultiSuiteDeterminism repeats the check on a suite whose tasks have
+// heterogeneous per-task configs (Fig. 7's suite x barrier grid), where a
+// scheduling-order bug would scramble the row order or the seeds.
+func TestMultiSuiteDeterminism(t *testing.T) {
+	cfg := TinyFig7Config()
+
+	render := func(jobs int) string {
+		eng := harness.New(harness.Options{Jobs: jobs})
+		res, err := RunFig7(eng, cfg)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		var b strings.Builder
+		res.Print(&b)
+		return b.String()
+	}
+
+	ref := render(1)
+	if got := render(8); got != ref {
+		t.Errorf("Fig. 7 output differs between jobs=1 and jobs=8:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", ref, got)
+	}
+}

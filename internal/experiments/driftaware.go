@@ -6,6 +6,7 @@ import (
 
 	"hclocksync/internal/clocksync"
 	"hclocksync/internal/cluster"
+	"hclocksync/internal/harness"
 )
 
 // DriftAwareConfig drives the offset-only-vs-drift-aware comparison behind
@@ -47,7 +48,7 @@ type DriftAwareResult struct {
 
 // RunDriftAware measures SKaMPISync (offset-only) against HCA3 at each
 // checkpoint, reusing the sync-accuracy harness per wait time.
-func RunDriftAware(cfg DriftAwareConfig) (*DriftAwareResult, error) {
+func RunDriftAware(eng *harness.Engine, cfg DriftAwareConfig) (*DriftAwareResult, error) {
 	algs := []clocksync.Algorithm{
 		clocksync.SKaMPISync{Offset: clocksync.SKaMPIOffset{NExchanges: cfg.NExchanges}},
 		clocksync.HCA3{Params: clocksync.Params{
@@ -60,7 +61,7 @@ func RunDriftAware(cfg DriftAwareConfig) (*DriftAwareResult, error) {
 		res.Labels = append(res.Labels, alg.Name())
 	}
 	for _, wait := range cfg.Waits {
-		sub, err := RunSyncAccuracy(SyncAccuracyConfig{
+		sub, err := RunSyncAccuracy(eng, SyncAccuracyConfig{
 			Job:        cfg.Job,
 			NRuns:      cfg.NRuns,
 			WaitTime:   wait,

@@ -4,6 +4,14 @@
 // function returning typed results, and a Print function that emits the
 // same rows/series the paper reports. The cmd/ tools and the repository's
 // benchmark suite are thin wrappers around these.
+//
+// Every Run* function takes an *harness.Engine as its first argument and
+// submits each independent simulated mpirun as one engine task, so
+// replications fan out across the worker pool and can be served from the
+// engine's result cache. Seeds derive from a stable hash of (suite, seed
+// key, base seed) — see harness.DeriveSeed — which keeps results
+// bit-identical whether the suite runs on one worker or eight. A nil
+// engine behaves like harness.Default() (parallel, uncached, silent).
 package experiments
 
 import (
@@ -40,6 +48,20 @@ func (j Job) run(main func(p *mpi.Proc)) error {
 
 // us converts seconds to microseconds for printing (the paper's unit).
 func us(sec float64) float64 { return sec * 1e6 }
+
+// desc renders any value — typically a clocksync.Algorithm or a check
+// configuration, which contain interfaces and therefore don't marshal to
+// JSON — as a deterministic Go-syntax string for use in engine task
+// configs, i.e. cache-key material. %#v spells out the concrete types and
+// every parameter field, so two differently-parameterized algorithms never
+// collide on a cache entry.
+func desc(v any) string { return fmt.Sprintf("%#v", v) }
+
+// seedKeyRun is the shared seed key of replication run: tasks that pass the
+// same key receive the same derived seed, which is how the paired designs
+// of Figs. 3–6 give every algorithm of run r the same machine
+// instantiation (clock draws, placement) to face.
+func seedKeyRun(run int) string { return fmt.Sprintf("run%d", run) }
 
 // Table1 prints the machine inventory of the paper's Table I as modelled by
 // the cluster presets.

@@ -21,7 +21,7 @@ func TestTable1PrintsAllMachines(t *testing.T) {
 }
 
 func TestFig2DriftLinearityClaim(t *testing.T) {
-	res, err := RunFig2(TinyFig2Config())
+	res, err := RunFig2(nil, TinyFig2Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestFig2DriftLinearityClaim(t *testing.T) {
 }
 
 func TestFig3SyncAccuracyHarness(t *testing.T) {
-	res, err := RunSyncAccuracy(TinyFig3Config())
+	res, err := RunSyncAccuracy(nil, TinyFig3Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestFig3SyncAccuracyHarness(t *testing.T) {
 }
 
 func TestFig4HierarchicalFasterClaim(t *testing.T) {
-	res, err := RunSyncAccuracy(TinyFig4Config())
+	res, err := RunSyncAccuracy(nil, TinyFig4Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestFig4HierarchicalFasterClaim(t *testing.T) {
 
 func TestFig6SamplesOnlyTenth(t *testing.T) {
 	cfg := TinyFig6Config()
-	res, err := RunSyncAccuracy(cfg)
+	res, err := RunSyncAccuracy(nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestFig6SamplesOnlyTenth(t *testing.T) {
 }
 
 func TestFig7BarrierChoiceMatters(t *testing.T) {
-	res, err := RunFig7(TinyFig7Config())
+	res, err := RunFig7(nil, TinyFig7Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestFig7BarrierChoiceMatters(t *testing.T) {
 }
 
 func TestFig8DoubleRingWorst(t *testing.T) {
-	res, err := RunFig8(TinyFig8Config())
+	res, err := RunFig8(nil, TinyFig8Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,13 @@ func TestFig8DoubleRingWorst(t *testing.T) {
 }
 
 func TestFig9OSUInflationShrinksWithSize(t *testing.T) {
-	res, err := RunFig9(TinyFig9Config())
+	cfg := TinyFig9Config()
+	// The relative-inflation ordering is a statement about means; at the
+	// tiny scale's 2x20 samples per point it can drown in round-to-round
+	// noise, so give this test a few more runs and repetitions.
+	cfg.NRuns = 4
+	cfg.NRep = 40
+	res, err := RunFig9(nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +232,7 @@ func TestFig9OSUInflationShrinksWithSize(t *testing.T) {
 }
 
 func TestFig10GlobalClockRevealsStructure(t *testing.T) {
-	res, err := RunFig10(TinyFig10Config())
+	res, err := RunFig10(nil, TinyFig10Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +274,7 @@ func TestFig10GlobalClockRevealsStructure(t *testing.T) {
 func TestFig5HydraVariantRuns(t *testing.T) {
 	cfg := TinyFig5Config()
 	cfg.NRuns = 1
-	res, err := RunSyncAccuracy(cfg)
+	res, err := RunSyncAccuracy(nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +296,7 @@ func TestFig9PrintFormat(t *testing.T) {
 	cfg.MSizes = []int{8}
 	cfg.NRuns = 1
 	cfg.NRep = 5
-	res, err := RunFig9(cfg)
+	res, err := RunFig9(nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,7 +11,7 @@ func TestDriftAwareDegradation(t *testing.T) {
 	cfg := DefaultDriftAwareConfig()
 	cfg.NRuns = 2
 	cfg.Waits = []float64{10}
-	res, err := RunDriftAware(cfg)
+	res, err := RunDriftAware(nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestDriftAwareDegradation(t *testing.T) {
 func TestWindowLossCascade(t *testing.T) {
 	cfg := DefaultWindowLossConfig()
 	cfg.NRep = 120
-	res, err := RunWindowLoss(cfg)
+	res, err := RunWindowLoss(nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestTraceCorrectionSchemes(t *testing.T) {
 	cfg.NIter = 24
 	cfg.ComputePer = 5
 	cfg.ResyncEvery = 6
-	res, err := RunTraceCorrection(cfg)
+	res, err := RunTraceCorrection(nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestTuningWinnersDependOnMeasurement(t *testing.T) {
 	spec := cfg.Job.Spec
 	spec.Nodes, spec.CoresPerSocket = 8, 2
 	cfg.Job = Job{Spec: spec, NProcs: 32, Seed: 18}
-	res, err := RunTuning(cfg)
+	res, err := RunTuning(nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"hclocksync/internal/clock"
 	"hclocksync/internal/clocksync"
 	"hclocksync/internal/cluster"
+	"hclocksync/internal/harness"
 	"hclocksync/internal/mpi"
 	"hclocksync/internal/stats"
 	"hclocksync/internal/trace"
@@ -89,36 +90,73 @@ type Fig10Result struct {
 	Panels []Fig10Panel
 }
 
-// RunFig10 traces the proxy app once per case.
-func RunFig10(cfg Fig10Config) (*Fig10Result, error) {
-	res := &Fig10Result{Config: cfg}
+// fig10Task is the cache-key material of one traced panel.
+type fig10Task struct {
+	Job       Job // ClockSource already set to the case's source
+	Global    bool
+	Iteration int
+	App       amg.Config
+	Sync      string
+}
+
+// RunFig10 traces the proxy app once per case; each case is one engine
+// task. All cases share a seed key so every panel sees the same machine —
+// the figure compares clocks, not machine draws.
+func RunFig10(eng *harness.Engine, cfg Fig10Config) (*Fig10Result, error) {
+	var tasks []harness.Task[[]trace.Span]
 	for _, c := range cfg.Cases {
+		c := c
 		job := cfg.Job
 		job.ClockSource = c.Source
-		var mu sync.Mutex
-		var spans []trace.Span
-		c := c
-		err := job.run(func(p *mpi.Proc) {
-			var clk clock.Clock = clock.NewLocal(p)
-			if c.Global {
-				clk = cfg.Sync.Sync(p.World(), clk)
-			}
-			tr := trace.New(p, clk)
-			amg.Run(p, cfg.App, tr)
-			got := trace.Gather(p.World(), amg.AllreduceRegion,
-				tr.Filter(amg.AllreduceRegion, cfg.Iteration))
-			if p.Rank() == 0 {
-				mu.Lock()
-				spans = trace.Normalize(got)
-				mu.Unlock()
-			}
+		tasks = append(tasks, harness.Task[[]trace.Span]{
+			Name:    c.String(),
+			SeedKey: seedKeyRun(0),
+			Config: fig10Task{
+				Job: job, Global: c.Global, Iteration: cfg.Iteration,
+				App: cfg.App, Sync: desc(cfg.Sync),
+			},
+			Run: func(seed int64) ([]trace.Span, error) {
+				return fig10Panel(cfg, c, seed)
+			},
 		})
-		if err != nil {
-			return nil, fmt.Errorf("case %s: %w", c, err)
-		}
-		res.Panels = append(res.Panels, Fig10Panel{Case: c, Spans: spans})
+	}
+	panels, err := harness.Run(eng, "fig10", cfg.Job.Seed, tasks)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10Result{Config: cfg}
+	for i, c := range cfg.Cases {
+		res.Panels = append(res.Panels, Fig10Panel{Case: c, Spans: panels[i]})
 	}
 	return res, nil
+}
+
+// fig10Panel traces one case's mpirun and extracts its Gantt spans.
+func fig10Panel(cfg Fig10Config, c Fig10Case, seed int64) ([]trace.Span, error) {
+	job := cfg.Job
+	job.ClockSource = c.Source
+	job.Seed = seed
+	var mu sync.Mutex
+	var spans []trace.Span
+	err := job.run(func(p *mpi.Proc) {
+		var clk clock.Clock = clock.NewLocal(p)
+		if c.Global {
+			clk = cfg.Sync.Sync(p.World(), clk)
+		}
+		tr := trace.New(p, clk)
+		amg.Run(p, cfg.App, tr)
+		got := trace.Gather(p.World(), amg.AllreduceRegion,
+			tr.Filter(amg.AllreduceRegion, cfg.Iteration))
+		if p.Rank() == 0 {
+			mu.Lock()
+			spans = trace.Normalize(got)
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("case %s: %w", c, err)
+	}
+	return spans, nil
 }
 
 // Print summarizes each panel: the start-time spread and the median span

@@ -8,6 +8,7 @@ import (
 	"hclocksync/internal/clock"
 	"hclocksync/internal/clocksync"
 	"hclocksync/internal/cluster"
+	"hclocksync/internal/harness"
 	"hclocksync/internal/mpi"
 	"hclocksync/internal/stats"
 )
@@ -61,8 +62,26 @@ type Fig2Result struct {
 	Series []Fig2Series
 }
 
-// RunFig2 measures the drift trajectories.
-func RunFig2(cfg Fig2Config) (*Fig2Result, error) {
+// RunFig2 measures the drift trajectories. The whole experiment is one
+// mpirun, so it submits as a single engine task — parallelism comes from
+// running it alongside other suites, caching from the task's config key.
+func RunFig2(eng *harness.Engine, cfg Fig2Config) (*Fig2Result, error) {
+	tasks := []harness.Task[[]Fig2Series]{{
+		Name:    "drift",
+		SeedKey: seedKeyRun(0),
+		Config:  cfg, // fully serializable: Job plus four scalars
+		Run:     func(seed int64) ([]Fig2Series, error) { return fig2Run(cfg, seed) },
+	}}
+	series, err := harness.Run(eng, "fig2", cfg.Job.Seed, tasks)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2Result{Config: cfg, Series: series[0]}, nil
+}
+
+// fig2Run executes the drift mpirun and fits the paper's two regressions.
+func fig2Run(cfg Fig2Config, seed int64) ([]Fig2Series, error) {
+	cfg.Job.Seed = seed
 	res := &Fig2Result{Config: cfg}
 	off := clocksync.SKaMPIOffset{NExchanges: cfg.Exchanges}
 	err := cfg.Job.run(func(p *mpi.Proc) {
@@ -113,7 +132,7 @@ func RunFig2(cfg Fig2Config) (*Fig2Result, error) {
 		s.ShortR2 = stats.FitLinear(xsShort, ysShort).R2
 	}
 	sort.Slice(res.Series, func(a, b int) bool { return res.Series[a].Rank < res.Series[b].Rank })
-	return res, nil
+	return res.Series, nil
 }
 
 // Print emits per-rank drift summaries: total drift over the horizon, the

@@ -7,6 +7,7 @@ import (
 
 	"hclocksync/internal/bench"
 	"hclocksync/internal/cluster"
+	"hclocksync/internal/harness"
 	"hclocksync/internal/mpi"
 )
 
@@ -51,41 +52,78 @@ type Fig7Result struct {
 	Rows   []Fig7Row
 }
 
+// fig7Task is the cache-key material of one (suite, barrier) cell group.
+type fig7Task struct {
+	Job     Job
+	Suite   string
+	Barrier string
+	MSizes  []int
+	NRep    int
+}
+
 // RunFig7 executes one mpirun per (suite, barrier) pair, measuring every
-// message size inside it (as the real tools do).
-func RunFig7(cfg Fig7Config) (*Fig7Result, error) {
-	res := &Fig7Result{Config: cfg}
+// message size inside it (as the real tools do). Each pair is one engine
+// task.
+func RunFig7(eng *harness.Engine, cfg Fig7Config) (*Fig7Result, error) {
+	var tasks []harness.Task[[]Fig7Row]
 	for _, suite := range cfg.Suites {
 		for _, barrier := range cfg.Barriers {
-			var mu sync.Mutex
-			lats := make(map[int]float64)
-			job := cfg.Job
-			job.Seed += int64(len(res.Rows)) // vary the run seed per cell group
-			err := job.run(func(p *mpi.Proc) {
-				for _, msize := range cfg.MSizes {
-					op := bench.AllreduceOp(msize, mpi.AllreduceRecursiveDoubling)
-					lat := bench.RunSuite(p.World(), suite, op, bench.SuiteConfig{
-						NRep:    cfg.NRep,
-						Barrier: barrier,
-					})
-					if p.Rank() == 0 {
-						mu.Lock()
-						lats[msize] = lat
-						mu.Unlock()
-					}
-				}
+			suite, barrier := suite, barrier
+			name := fmt.Sprintf("%s/%s", suite, barrier)
+			tasks = append(tasks, harness.Task[[]Fig7Row]{
+				Name:    name,
+				SeedKey: name,
+				Config: fig7Task{
+					Job: cfg.Job, Suite: string(suite), Barrier: barrier.String(),
+					MSizes: cfg.MSizes, NRep: cfg.NRep,
+				},
+				Run: func(seed int64) ([]Fig7Row, error) {
+					return fig7Cell(cfg, suite, barrier, seed)
+				},
 			})
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", suite, barrier, err)
-			}
-			for _, msize := range cfg.MSizes {
-				res.Rows = append(res.Rows, Fig7Row{
-					Suite: suite, Barrier: barrier, MSize: msize, Latency: lats[msize],
-				})
-			}
 		}
 	}
+	cells, err := harness.Run(eng, "fig7", cfg.Job.Seed, tasks)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Config: cfg}
+	for _, rows := range cells {
+		res.Rows = append(res.Rows, rows...)
+	}
 	return res, nil
+}
+
+// fig7Cell measures one (suite, barrier) pair across all message sizes.
+func fig7Cell(cfg Fig7Config, suite bench.Suite, barrier mpi.BarrierAlg, seed int64) ([]Fig7Row, error) {
+	var mu sync.Mutex
+	lats := make(map[int]float64)
+	job := cfg.Job
+	job.Seed = seed
+	err := job.run(func(p *mpi.Proc) {
+		for _, msize := range cfg.MSizes {
+			op := bench.AllreduceOp(msize, mpi.AllreduceRecursiveDoubling)
+			lat := bench.RunSuite(p.World(), suite, op, bench.SuiteConfig{
+				NRep:    cfg.NRep,
+				Barrier: barrier,
+			})
+			if p.Rank() == 0 {
+				mu.Lock()
+				lats[msize] = lat
+				mu.Unlock()
+			}
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", suite, barrier, err)
+	}
+	rows := make([]Fig7Row, 0, len(cfg.MSizes))
+	for _, msize := range cfg.MSizes {
+		rows = append(rows, Fig7Row{
+			Suite: suite, Barrier: barrier, MSize: msize, Latency: lats[msize],
+		})
+	}
+	return rows, nil
 }
 
 // Print emits the figure's panels: per message size, latency by

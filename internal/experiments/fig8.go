@@ -10,6 +10,7 @@ import (
 	"hclocksync/internal/clock"
 	"hclocksync/internal/clocksync"
 	"hclocksync/internal/cluster"
+	"hclocksync/internal/harness"
 	"hclocksync/internal/mpi"
 	"hclocksync/internal/stats"
 )
@@ -54,35 +55,77 @@ type Fig8Result struct {
 	Imbalances map[mpi.BarrierAlg][]float64
 }
 
-// RunFig8 executes the experiment.
-func RunFig8(cfg Fig8Config) (*Fig8Result, error) {
+// fig8Task is the cache-key material of one replication mpirun.
+type fig8Task struct {
+	Job      Job
+	Barriers []string
+	NCalls   int
+	Sync     string
+	Run      int
+}
+
+// RunFig8 executes the experiment: one engine task per replication, each
+// measuring every barrier algorithm inside one mpirun (as the paper does).
+func RunFig8(eng *harness.Engine, cfg Fig8Config) (*Fig8Result, error) {
 	if cfg.NCalls <= 0 {
 		cfg.NCalls = 500
 	}
 	if cfg.NRuns <= 0 {
 		cfg.NRuns = 5
 	}
-	res := &Fig8Result{Config: cfg, Imbalances: make(map[mpi.BarrierAlg][]float64)}
+	var barrierNames []string
+	for _, alg := range cfg.Barriers {
+		barrierNames = append(barrierNames, alg.String())
+	}
+	var tasks []harness.Task[map[mpi.BarrierAlg][]float64]
 	for run := 0; run < cfg.NRuns; run++ {
-		job := cfg.Job
-		job.Seed += int64(run * 131)
-		var mu sync.Mutex
-		err := job.run(func(p *mpi.Proc) {
-			g := cfg.Sync.Sync(p.World(), clock.NewLocal(p))
-			for _, alg := range cfg.Barriers {
-				imb := bench.BarrierImbalance(p.World(), g, alg, cfg.NCalls)
-				if p.Rank() == 0 {
-					mu.Lock()
-					res.Imbalances[alg] = append(res.Imbalances[alg], imb...)
-					mu.Unlock()
-				}
-			}
+		run := run
+		tasks = append(tasks, harness.Task[map[mpi.BarrierAlg][]float64]{
+			Name:    seedKeyRun(run),
+			SeedKey: seedKeyRun(run),
+			Config: fig8Task{
+				Job: cfg.Job, Barriers: barrierNames, NCalls: cfg.NCalls,
+				Sync: desc(cfg.Sync), Run: run,
+			},
+			Run: func(seed int64) (map[mpi.BarrierAlg][]float64, error) {
+				return fig8Run(cfg, seed)
+			},
 		})
-		if err != nil {
-			return nil, fmt.Errorf("run %d: %w", run, err)
+	}
+	perRun, err := harness.Run(eng, "fig8", cfg.Job.Seed, tasks)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{Config: cfg, Imbalances: make(map[mpi.BarrierAlg][]float64)}
+	for _, imb := range perRun { // pooled in run order: deterministic
+		for _, alg := range cfg.Barriers {
+			res.Imbalances[alg] = append(res.Imbalances[alg], imb[alg]...)
 		}
 	}
 	return res, nil
+}
+
+// fig8Run executes one replication mpirun over all barrier algorithms.
+func fig8Run(cfg Fig8Config, seed int64) (map[mpi.BarrierAlg][]float64, error) {
+	job := cfg.Job
+	job.Seed = seed
+	out := make(map[mpi.BarrierAlg][]float64)
+	var mu sync.Mutex
+	err := job.run(func(p *mpi.Proc) {
+		g := cfg.Sync.Sync(p.World(), clock.NewLocal(p))
+		for _, alg := range cfg.Barriers {
+			imb := bench.BarrierImbalance(p.World(), g, alg, cfg.NCalls)
+			if p.Rank() == 0 {
+				mu.Lock()
+				out[alg] = append(out[alg], imb...)
+				mu.Unlock()
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Print emits the distribution summary per barrier algorithm (the paper's

@@ -9,6 +9,7 @@ import (
 	"hclocksync/internal/clock"
 	"hclocksync/internal/clocksync"
 	"hclocksync/internal/cluster"
+	"hclocksync/internal/harness"
 	"hclocksync/internal/mpi"
 	"hclocksync/internal/stats"
 )
@@ -59,46 +60,56 @@ type Fig9Result struct {
 	Points []Fig9Point
 }
 
+// fig9Task is the cache-key material of one replication mpirun.
+type fig9Task struct {
+	Job       Job
+	MSizes    []int
+	NRep      int
+	Barrier   string
+	Sync      string
+	RoundTime bench.RoundTimeConfig
+	Run       int
+}
+
+// fig9Run is one replication's per-scheme averages keyed by message size.
+type fig9Run struct {
+	OSU map[int]float64
+	RT  map[int]float64
+}
+
 // RunFig9 executes the sweep: per run, one mpirun measures every message
 // size with both schemes (clocks are synchronized once per run, as ReproMPI
-// does).
-func RunFig9(cfg Fig9Config) (*Fig9Result, error) {
-	type key struct {
-		suite bench.Suite
-		msize int
-	}
-	perRun := make(map[key][]float64)
+// does). Each run is one engine task.
+func RunFig9(eng *harness.Engine, cfg Fig9Config) (*Fig9Result, error) {
+	var tasks []harness.Task[fig9Run]
 	for run := 0; run < cfg.NRuns; run++ {
-		job := cfg.Job
-		job.Seed += int64(run * 977)
-		var mu sync.Mutex
-		err := job.run(func(p *mpi.Proc) {
-			comm := p.World()
-			g := cfg.Sync.Sync(comm, clock.NewLocal(p))
-			for _, msize := range cfg.MSizes {
-				op := bench.AllreduceOp(msize, mpi.AllreduceRecursiveDoubling)
-				osu := bench.RunSuite(comm, bench.SuiteOSU, op, bench.SuiteConfig{
-					NRep: cfg.NRep, Barrier: cfg.Barrier,
-				})
-				rt := bench.RunSuite(comm, bench.SuiteReproMPIRoundTime, op, bench.SuiteConfig{
-					NRep: cfg.NRep, Clock: g, RoundTime: cfg.RoundTime,
-				})
-				if p.Rank() == 0 {
-					mu.Lock()
-					perRun[key{bench.SuiteOSU, msize}] = append(perRun[key{bench.SuiteOSU, msize}], osu)
-					perRun[key{bench.SuiteReproMPIRoundTime, msize}] = append(perRun[key{bench.SuiteReproMPIRoundTime, msize}], rt)
-					mu.Unlock()
-				}
-			}
+		run := run
+		tasks = append(tasks, harness.Task[fig9Run]{
+			Name:    seedKeyRun(run),
+			SeedKey: seedKeyRun(run),
+			Config: fig9Task{
+				Job: cfg.Job, MSizes: cfg.MSizes, NRep: cfg.NRep,
+				Barrier: cfg.Barrier.String(), Sync: desc(cfg.Sync),
+				RoundTime: cfg.RoundTime, Run: run,
+			},
+			Run: func(seed int64) (fig9Run, error) { return fig9RunOnce(cfg, seed) },
 		})
-		if err != nil {
-			return nil, fmt.Errorf("run %d: %w", run, err)
-		}
+	}
+	runs, err := harness.Run(eng, "fig9", cfg.Job.Seed, tasks)
+	if err != nil {
+		return nil, err
 	}
 	res := &Fig9Result{Config: cfg}
 	for _, suite := range []bench.Suite{bench.SuiteOSU, bench.SuiteReproMPIRoundTime} {
 		for _, msize := range cfg.MSizes {
-			vals := perRun[key{suite, msize}]
+			var vals []float64
+			for _, r := range runs { // run order: deterministic aggregation
+				if suite == bench.SuiteOSU {
+					vals = append(vals, r.OSU[msize])
+				} else {
+					vals = append(vals, r.RT[msize])
+				}
+			}
 			res.Points = append(res.Points, Fig9Point{
 				Suite: suite, MSize: msize,
 				Mean: stats.Mean(vals), Min: stats.Min(vals), Max: stats.Max(vals),
@@ -107,6 +118,37 @@ func RunFig9(cfg Fig9Config) (*Fig9Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// fig9RunOnce executes one replication mpirun over both schemes.
+func fig9RunOnce(cfg Fig9Config, seed int64) (fig9Run, error) {
+	job := cfg.Job
+	job.Seed = seed
+	out := fig9Run{OSU: make(map[int]float64), RT: make(map[int]float64)}
+	var mu sync.Mutex
+	err := job.run(func(p *mpi.Proc) {
+		comm := p.World()
+		g := cfg.Sync.Sync(comm, clock.NewLocal(p))
+		for _, msize := range cfg.MSizes {
+			op := bench.AllreduceOp(msize, mpi.AllreduceRecursiveDoubling)
+			osu := bench.RunSuite(comm, bench.SuiteOSU, op, bench.SuiteConfig{
+				NRep: cfg.NRep, Barrier: cfg.Barrier,
+			})
+			rt := bench.RunSuite(comm, bench.SuiteReproMPIRoundTime, op, bench.SuiteConfig{
+				NRep: cfg.NRep, Clock: g, RoundTime: cfg.RoundTime,
+			})
+			if p.Rank() == 0 {
+				mu.Lock()
+				out.OSU[msize] = osu
+				out.RT[msize] = rt
+				mu.Unlock()
+			}
+		}
+	})
+	if err != nil {
+		return fig9Run{}, err
+	}
+	return out, nil
 }
 
 // Print emits the figure's two series with min/max error bars.

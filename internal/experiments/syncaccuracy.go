@@ -8,6 +8,7 @@ import (
 	"hclocksync/internal/clock"
 	"hclocksync/internal/clocksync"
 	"hclocksync/internal/cluster"
+	"hclocksync/internal/harness"
 	"hclocksync/internal/mpi"
 	"hclocksync/internal/stats"
 )
@@ -43,8 +44,20 @@ type SyncAccuracyResult struct {
 	Runs   []SyncRun
 }
 
-// RunSyncAccuracy executes the harness.
-func RunSyncAccuracy(cfg SyncAccuracyConfig) (*SyncAccuracyResult, error) {
+// syncTask is the cache-key material of one (algorithm, replication)
+// mpirun: everything besides the derived seed that determines its SyncRun.
+type syncTask struct {
+	Job      Job
+	Alg      string
+	WaitTime float64
+	Check    string
+	Run      int
+}
+
+// RunSyncAccuracy executes the harness: one engine task per (algorithm,
+// mpirun). All algorithms of replication r share a seed key, so they face
+// the same machine instantiation — the paper's paired comparison design.
+func RunSyncAccuracy(eng *harness.Engine, cfg SyncAccuracyConfig) (*SyncAccuracyResult, error) {
 	if cfg.NRuns <= 0 {
 		cfg.NRuns = 10
 	}
@@ -53,48 +66,70 @@ func RunSyncAccuracy(cfg SyncAccuracyConfig) (*SyncAccuracyResult, error) {
 	}
 	check := cfg.Check
 	check.WaitTime = cfg.WaitTime
-	res := &SyncAccuracyResult{Config: cfg}
+	var tasks []harness.Task[SyncRun]
 	for _, alg := range cfg.Algorithms {
 		for run := 0; run < cfg.NRuns; run++ {
-			job := cfg.Job
-			job.Seed = cfg.Job.Seed + int64(1000*run) + 7
-			row := SyncRun{Label: alg.Name(), Run: run}
-			var mu sync.Mutex
-			readings0 := make([]float64, job.NProcs)
-			readingsW := make([]float64, job.NProcs)
-			err := job.run(func(p *mpi.Proc) {
-				comm := p.World()
-				comm.Barrier()
-				t0 := p.TrueNow()
-				g := alg.Sync(comm, clock.NewLocal(p))
-				end := comm.AllreduceF64(p.TrueNow(), mpi.OpMax)
-				samples := clocksync.CheckAccuracy(comm, g, check)
-				// Ground truth: evaluate every rank's global clock at the
-				// common instants end and end+wait.
-				_, m := clock.Collapse(g)
-				hw := p.HWClock()
-				l0, lw := hw.ReadAt(end), hw.ReadAt(end+cfg.WaitTime)
-				mu.Lock()
-				readings0[comm.Rank()] = l0 - m.Predict(l0)
-				readingsW[comm.Rank()] = lw - m.Predict(lw)
-				mu.Unlock()
-				if comm.Rank() == 0 {
-					at0, atW := clocksync.MaxAbsOffsets(samples)
-					mu.Lock()
-					row.Duration = end - t0
-					row.MaxAbs0, row.MaxAbsW = at0, atW
-					mu.Unlock()
-				}
+			alg, run := alg, run
+			tasks = append(tasks, harness.Task[SyncRun]{
+				Name:    fmt.Sprintf("%s/run%d", alg.Name(), run),
+				SeedKey: seedKeyRun(run),
+				Config: syncTask{
+					Job: cfg.Job, Alg: desc(alg),
+					WaitTime: cfg.WaitTime, Check: desc(check), Run: run,
+				},
+				Run: func(seed int64) (SyncRun, error) {
+					return syncAccuracyRun(cfg.Job, alg, run, seed, cfg.WaitTime, check)
+				},
 			})
-			if err != nil {
-				return nil, fmt.Errorf("%s run %d: %w", alg.Name(), run, err)
-			}
-			row.TrueSpread0 = spread(readings0)
-			row.TrueSpreadW = spread(readingsW)
-			res.Runs = append(res.Runs, row)
 		}
 	}
-	return res, nil
+	runs, err := harness.Run(eng, "syncaccuracy", cfg.Job.Seed, tasks)
+	if err != nil {
+		return nil, err
+	}
+	return &SyncAccuracyResult{Config: cfg, Runs: runs}, nil
+}
+
+// syncAccuracyRun executes one (algorithm, replication) mpirun with the
+// given derived seed.
+func syncAccuracyRun(base Job, alg clocksync.Algorithm, run int, seed int64,
+	wait float64, check clocksync.CheckConfig) (SyncRun, error) {
+	job := base
+	job.Seed = seed
+	row := SyncRun{Label: alg.Name(), Run: run}
+	var mu sync.Mutex
+	readings0 := make([]float64, job.NProcs)
+	readingsW := make([]float64, job.NProcs)
+	err := job.run(func(p *mpi.Proc) {
+		comm := p.World()
+		comm.Barrier()
+		t0 := p.TrueNow()
+		g := alg.Sync(comm, clock.NewLocal(p))
+		end := comm.AllreduceF64(p.TrueNow(), mpi.OpMax)
+		samples := clocksync.CheckAccuracy(comm, g, check)
+		// Ground truth: evaluate every rank's global clock at the
+		// common instants end and end+wait.
+		_, m := clock.Collapse(g)
+		hw := p.HWClock()
+		l0, lw := hw.ReadAt(end), hw.ReadAt(end+wait)
+		mu.Lock()
+		readings0[comm.Rank()] = l0 - m.Predict(l0)
+		readingsW[comm.Rank()] = lw - m.Predict(lw)
+		mu.Unlock()
+		if comm.Rank() == 0 {
+			at0, atW := clocksync.MaxAbsOffsets(samples)
+			mu.Lock()
+			row.Duration = end - t0
+			row.MaxAbs0, row.MaxAbsW = at0, atW
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return SyncRun{}, fmt.Errorf("%s run %d: %w", alg.Name(), run, err)
+	}
+	row.TrueSpread0 = spread(readings0)
+	row.TrueSpreadW = spread(readingsW)
+	return row, nil
 }
 
 func spread(xs []float64) float64 { return stats.Max(xs) - stats.Min(xs) }

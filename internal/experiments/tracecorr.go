@@ -10,6 +10,7 @@ import (
 	"hclocksync/internal/clock"
 	"hclocksync/internal/clocksync"
 	"hclocksync/internal/cluster"
+	"hclocksync/internal/harness"
 	"hclocksync/internal/mpi"
 	"hclocksync/internal/trace"
 )
@@ -81,8 +82,44 @@ type rankModels struct {
 	interp trace.Interpolation
 }
 
-// RunTraceCorrection executes the study.
-func RunTraceCorrection(cfg TraceCorrectionConfig) (*TraceCorrectionResult, error) {
+// traceCorrTask is the cache-key material of the single traced mpirun.
+type traceCorrTask struct {
+	Job         Job
+	NIter       int
+	ComputePer  float64
+	ResyncEvery int
+	Sync        string
+	Anchors     string
+}
+
+// RunTraceCorrection executes the study as a single engine task whose
+// payload is the per-scheme spread series.
+func RunTraceCorrection(eng *harness.Engine, cfg TraceCorrectionConfig) (*TraceCorrectionResult, error) {
+	tasks := []harness.Task[map[CorrectionScheme][]float64]{{
+		Name:    "tracecorr",
+		SeedKey: seedKeyRun(0),
+		Config: traceCorrTask{
+			Job: cfg.Job, NIter: cfg.NIter, ComputePer: cfg.ComputePer,
+			ResyncEvery: cfg.ResyncEvery, Sync: desc(cfg.Sync), Anchors: desc(cfg.Anchors),
+		},
+		Run: func(seed int64) (map[CorrectionScheme][]float64, error) {
+			return traceCorrRun(cfg, seed)
+		},
+	}}
+	spreads, err := harness.Run(eng, "tracecorr", cfg.Job.Seed, tasks)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceCorrectionResult{
+		Config:       cfg,
+		Schemes:      []CorrectionScheme{SchemeLocal, SchemeInterpolation, SchemeSyncOnce, SchemePeriodic},
+		SpreadByIter: spreads[0],
+	}, nil
+}
+
+// traceCorrRun executes the traced mpirun and evaluates all corrections.
+func traceCorrRun(cfg TraceCorrectionConfig, seed int64) (map[CorrectionScheme][]float64, error) {
+	cfg.Job.Seed = seed
 	var mu sync.Mutex
 	models := make(map[int]*rankModels)
 	var spans []trace.Span
@@ -138,7 +175,7 @@ func RunTraceCorrection(cfg TraceCorrectionConfig) (*TraceCorrectionResult, erro
 	if err != nil {
 		return nil, err
 	}
-	return evaluateCorrections(cfg, models, spans, rootClock), nil
+	return evaluateCorrections(cfg, models, spans, rootClock).SpreadByIter, nil
 }
 
 // runIteration executes one AMG-proxy iteration with tracing.

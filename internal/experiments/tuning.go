@@ -9,6 +9,7 @@ import (
 	"hclocksync/internal/clock"
 	"hclocksync/internal/clocksync"
 	"hclocksync/internal/cluster"
+	"hclocksync/internal/harness"
 	"hclocksync/internal/mpi"
 )
 
@@ -112,55 +113,95 @@ func (r *TuningResult) Disagreements() int {
 	return n
 }
 
+// tuningTask is the cache-key material of one measurement-configuration
+// mpirun.
+type tuningTask struct {
+	Job        Job
+	Scheme     string
+	Barrier    string
+	Candidates []string
+	MSizes     []int
+	NRep       int
+	Sync       string
+}
+
 // RunTuning measures every candidate under every measurement configuration
 // (one mpirun per measurement configuration, as a real tuner would run).
-func RunTuning(cfg TuningConfig) (*TuningResult, error) {
+// Each configuration is one engine task.
+func RunTuning(eng *harness.Engine, cfg TuningConfig) (*TuningResult, error) {
 	res := &TuningResult{Config: cfg}
 	res.Measurements = append(res.Measurements, TuningMeasurement{Scheme: "roundtime"})
 	for _, b := range cfg.Barriers {
 		res.Measurements = append(res.Measurements, TuningMeasurement{Scheme: "osu", Barrier: b})
 	}
+	var candNames []string
+	for _, c := range cfg.Candidates {
+		candNames = append(candNames, c.String())
+	}
+	var tasks []harness.Task[map[int]map[mpi.AllreduceAlg]float64]
 	for _, m := range res.Measurements {
 		m := m
-		lat := make(map[int]map[mpi.AllreduceAlg]float64)
-		for _, msize := range cfg.MSizes {
-			lat[msize] = make(map[mpi.AllreduceAlg]float64)
+		tasks = append(tasks, harness.Task[map[int]map[mpi.AllreduceAlg]float64]{
+			Name:    m.String(),
+			SeedKey: m.String(),
+			Config: tuningTask{
+				Job: cfg.Job, Scheme: m.Scheme, Barrier: m.Barrier.String(),
+				Candidates: candNames, MSizes: cfg.MSizes, NRep: cfg.NRep,
+				Sync: desc(cfg.Sync),
+			},
+			Run: func(seed int64) (map[int]map[mpi.AllreduceAlg]float64, error) {
+				return tuningMeasure(cfg, m, seed)
+			},
+		})
+	}
+	lats, err := harness.Run(eng, "tuning", cfg.Job.Seed, tasks)
+	if err != nil {
+		return nil, err
+	}
+	res.Latency = lats
+	return res, nil
+}
+
+// tuningMeasure runs one measurement configuration's mpirun over all
+// candidates and message sizes.
+func tuningMeasure(cfg TuningConfig, m TuningMeasurement, seed int64) (map[int]map[mpi.AllreduceAlg]float64, error) {
+	lat := make(map[int]map[mpi.AllreduceAlg]float64)
+	for _, msize := range cfg.MSizes {
+		lat[msize] = make(map[mpi.AllreduceAlg]float64)
+	}
+	var mu sync.Mutex
+	job := cfg.Job
+	job.Seed = seed
+	err := job.run(func(p *mpi.Proc) {
+		comm := p.World()
+		var g clock.Clock
+		if m.Scheme == "roundtime" {
+			g = cfg.Sync.Sync(comm, clock.NewLocal(p))
 		}
-		var mu sync.Mutex
-		job := cfg.Job
-		job.Seed += int64(len(res.Latency) * 37)
-		err := job.run(func(p *mpi.Proc) {
-			comm := p.World()
-			var g clock.Clock
-			if m.Scheme == "roundtime" {
-				g = cfg.Sync.Sync(comm, clock.NewLocal(p))
-			}
-			for _, msize := range cfg.MSizes {
-				for _, cand := range cfg.Candidates {
-					op := bench.AllreduceOp(msize, cand)
-					var v float64
-					if m.Scheme == "roundtime" {
-						v = bench.RunSuite(comm, bench.SuiteReproMPIRoundTime, op,
-							bench.SuiteConfig{NRep: cfg.NRep, Clock: g,
-								RoundTime: bench.RoundTimeConfig{MaxTimeSlice: 0.2, MaxNRep: cfg.NRep}})
-					} else {
-						v = bench.RunSuite(comm, bench.SuiteOSU, op,
-							bench.SuiteConfig{NRep: cfg.NRep, Barrier: m.Barrier})
-					}
-					if comm.Rank() == 0 {
-						mu.Lock()
-						lat[msize][cand] = v
-						mu.Unlock()
-					}
+		for _, msize := range cfg.MSizes {
+			for _, cand := range cfg.Candidates {
+				op := bench.AllreduceOp(msize, cand)
+				var v float64
+				if m.Scheme == "roundtime" {
+					v = bench.RunSuite(comm, bench.SuiteReproMPIRoundTime, op,
+						bench.SuiteConfig{NRep: cfg.NRep, Clock: g,
+							RoundTime: bench.RoundTimeConfig{MaxTimeSlice: 0.2, MaxNRep: cfg.NRep}})
+				} else {
+					v = bench.RunSuite(comm, bench.SuiteOSU, op,
+						bench.SuiteConfig{NRep: cfg.NRep, Barrier: m.Barrier})
+				}
+				if comm.Rank() == 0 {
+					mu.Lock()
+					lat[msize][cand] = v
+					mu.Unlock()
 				}
 			}
-		})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", m, err)
 		}
-		res.Latency = append(res.Latency, lat)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", m, err)
 	}
-	return res, nil
+	return lat, nil
 }
 
 // Print renders per-measurement latency tables and the selected winners.

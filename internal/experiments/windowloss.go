@@ -9,6 +9,7 @@ import (
 	"hclocksync/internal/clock"
 	"hclocksync/internal/clocksync"
 	"hclocksync/internal/cluster"
+	"hclocksync/internal/harness"
 	"hclocksync/internal/mpi"
 )
 
@@ -75,14 +76,56 @@ func (r *WindowLossResult) RoundYield() float64 {
 	return float64(r.RoundValid) / float64(r.RoundAttempts)
 }
 
-// RunWindowLoss executes both schemes on the same outlier-heavy machine.
-func RunWindowLoss(cfg WindowLossConfig) (*WindowLossResult, error) {
+// windowLossTask is the cache-key material of the single mpirun.
+type windowLossTask struct {
+	Job                   Job
+	Window                float64
+	NRep                  int
+	Sync                  string
+	SpikeProb, SpikeScale float64
+}
+
+// windowLossCounts is the serializable result payload of the mpirun.
+type windowLossCounts struct {
+	WindowValid   int
+	RoundValid    int
+	RoundAttempts int
+	MaxCascade    int
+}
+
+// RunWindowLoss executes both schemes on the same outlier-heavy machine as
+// a single engine task.
+func RunWindowLoss(eng *harness.Engine, cfg WindowLossConfig) (*WindowLossResult, error) {
+	tasks := []harness.Task[windowLossCounts]{{
+		Name:    "windowloss",
+		SeedKey: seedKeyRun(0),
+		Config: windowLossTask{
+			Job: cfg.Job, Window: cfg.Window, NRep: cfg.NRep, Sync: desc(cfg.Sync),
+			SpikeProb: cfg.SpikeProb, SpikeScale: cfg.SpikeScale,
+		},
+		Run: func(seed int64) (windowLossCounts, error) { return windowLossRun(cfg, seed) },
+	}}
+	counts, err := harness.Run(eng, "windowloss", cfg.Job.Seed, tasks)
+	if err != nil {
+		return nil, err
+	}
+	c := counts[0]
+	return &WindowLossResult{
+		Config: cfg, WindowTotal: cfg.NRep,
+		WindowValid: c.WindowValid, RoundValid: c.RoundValid,
+		RoundAttempts: c.RoundAttempts, MaxCascade: c.MaxCascade,
+	}, nil
+}
+
+// windowLossRun executes the mpirun measuring both schemes.
+func windowLossRun(cfg WindowLossConfig, seed int64) (windowLossCounts, error) {
 	job := cfg.Job
+	job.Seed = seed
 	if cfg.SpikeProb > 0 {
 		job.Spec.InterNode.SpikeProb = cfg.SpikeProb
 		job.Spec.InterNode.SpikeScale = cfg.SpikeScale
 	}
-	res := &WindowLossResult{Config: cfg, WindowTotal: cfg.NRep}
+	var res windowLossCounts
 	var mu sync.Mutex
 	err := job.run(func(p *mpi.Proc) {
 		comm := p.World()
@@ -123,7 +166,7 @@ func RunWindowLoss(cfg WindowLossConfig) (*WindowLossResult, error) {
 		}
 	})
 	if err != nil {
-		return nil, err
+		return windowLossCounts{}, err
 	}
 	return res, nil
 }

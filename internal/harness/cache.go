@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache is a content-addressed on-disk result store. Keys are SHA-256 over
+// the canonical JSON of (code version, suite, task, seed, config); entries
+// live at <dir>/<key[:2]>/<key>.json and embed a checksum of the result
+// payload so corruption is detected on read rather than propagated into
+// published numbers.
+//
+// The cache is best-effort by design: any I/O or decoding problem is treated
+// as a miss and the task is recomputed. Results that cannot round-trip
+// through JSON (for example values containing NaN) are silently left
+// uncached.
+type Cache struct {
+	dir string
+}
+
+// OpenCache roots a cache at dir; the directory is created lazily on the
+// first Put.
+func OpenCache(dir string) *Cache { return &Cache{dir: dir} }
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// entry is the on-disk envelope of one cached result.
+type entry struct {
+	Key      string          `json:"key"`
+	Version  string          `json:"version"`
+	Suite    string          `json:"suite"`
+	Task     string          `json:"task"`
+	Seed     int64           `json:"seed"`
+	Config   json.RawMessage `json:"config"`
+	Checksum string          `json:"checksum"` // SHA-256 hex of Result
+	Result   json.RawMessage `json:"result"`
+}
+
+// CacheKey computes the content address of one task: SHA-256 over the code
+// version, suite, task name, seed, and the canonical JSON of the config.
+// A nil config is allowed (it hashes as JSON null).
+func CacheKey(version, suite, task string, seed int64, config any) (string, error) {
+	cfg, err := json.Marshal(config)
+	if err != nil {
+		return "", fmt.Errorf("harness: config of %s/%s is not serializable: %w", suite, task, err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%d\x00", version, suite, task, seed)
+	h.Write(cfg)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get loads the entry under key into out. It reports false — never an error
+// — on any miss: absent file, malformed JSON, key or checksum mismatch, or
+// a payload that no longer unmarshals into out's type.
+func (c *Cache) Get(key string, out any) bool {
+	if c == nil {
+		return false
+	}
+	raw, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return false
+	}
+	var e entry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return false
+	}
+	if e.Key != key {
+		return false
+	}
+	sum := sha256.Sum256(e.Result)
+	if hex.EncodeToString(sum[:]) != e.Checksum {
+		return false
+	}
+	return json.Unmarshal(e.Result, out) == nil
+}
+
+// Put stores result under key. Failures (unserializable result, full disk)
+// are swallowed: caching is an optimization, not a correctness requirement.
+func (c *Cache) Put(key, version, suite, task string, seed int64, config, result any) {
+	if c == nil {
+		return
+	}
+	res, err := json.Marshal(result)
+	if err != nil {
+		return
+	}
+	cfg, err := json.Marshal(config)
+	if err != nil {
+		return
+	}
+	sum := sha256.Sum256(res)
+	raw, err := json.Marshal(entry{
+		Key:      key,
+		Version:  version,
+		Suite:    suite,
+		Task:     task,
+		Seed:     seed,
+		Config:   cfg,
+		Checksum: hex.EncodeToString(sum[:]),
+		Result:   res,
+	})
+	if err != nil {
+		return
+	}
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	// Write-then-rename so a crashed run leaves either the old entry or a
+	// complete new one, never a torn file that a later Get must distrust.
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(raw)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -1,0 +1,148 @@
+// Package harness is the parallel experiment engine behind the repository's
+// table/figure harnesses and sweep tools.
+//
+// Every experiment in internal/experiments decomposes into independent
+// simulated mpiruns (each one an isolated DES environment), which makes the
+// work embarrassingly parallel — exactly the reproducibility-versus-cost
+// tension "MPI Benchmarking Revisited" highlights: trustworthy medians need
+// many repetitions, and repetitions cost wall-clock time. The engine fans
+// those simulations out across a worker pool while guaranteeing that the
+// results are bit-identical to a sequential run:
+//
+//   - Determinism. Each task's seed is a stable hash of (suite, seed key,
+//     base seed) — see DeriveSeed — and never depends on worker scheduling
+//     order. Results are returned in submission order regardless of which
+//     worker finished first.
+//
+//   - Caching. With a cache directory configured, each task's result is
+//     stored content-addressed under the SHA-256 of its canonical-JSON
+//     config plus the code version; a later run with the same config is
+//     served from disk without re-simulating. Entries carry a payload
+//     checksum, so truncated or corrupted files are detected and
+//     transparently recomputed.
+//
+//   - Accounting. Every suite run produces a Manifest recording configs,
+//     seeds, per-task wall time, and cache hits, and an optional Reporter
+//     streams progress (tasks done, sims/sec, ETA) while the pool drains.
+package harness
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Jobs is the maximum number of simulations run concurrently.
+	// Zero or negative means runtime.NumCPU().
+	Jobs int
+	// CacheDir enables the on-disk result cache rooted at this directory.
+	// Empty disables caching.
+	CacheDir string
+	// Version overrides the code-version string mixed into every cache key.
+	// Empty means CodeVersion().
+	Version string
+	// Reporter receives progress events. Nil disables reporting.
+	Reporter Reporter
+}
+
+// Engine executes suites of independent simulation tasks on a worker pool.
+// An Engine is safe for use from multiple goroutines; a nil *Engine behaves
+// like Default().
+type Engine struct {
+	jobs     int
+	cache    *Cache
+	version  string
+	reporter Reporter
+
+	mu        sync.Mutex
+	manifests []*Manifest
+}
+
+// New builds an engine from opts.
+func New(opts Options) *Engine {
+	e := &Engine{
+		jobs:     opts.Jobs,
+		version:  opts.Version,
+		reporter: opts.Reporter,
+	}
+	if e.jobs <= 0 {
+		e.jobs = runtime.NumCPU()
+	}
+	if e.version == "" {
+		e.version = CodeVersion()
+	}
+	if e.reporter == nil {
+		e.reporter = nopReporter{}
+	}
+	if opts.CacheDir != "" {
+		e.cache = OpenCache(opts.CacheDir)
+	}
+	return e
+}
+
+// Default returns an engine with NumCPU workers, no cache, and no reporter —
+// the configuration used when callers pass a nil engine.
+func Default() *Engine { return New(Options{}) }
+
+// get resolves a possibly-nil receiver to a usable engine.
+func (e *Engine) get() *Engine {
+	if e == nil {
+		return Default()
+	}
+	return e
+}
+
+// Jobs returns the worker-pool width.
+func (e *Engine) Jobs() int { return e.get().jobs }
+
+// Manifests returns the manifests of every suite completed so far through
+// this engine, in completion order.
+func (e *Engine) Manifests() []*Manifest {
+	e = e.get()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Manifest, len(e.manifests))
+	copy(out, e.manifests)
+	return out
+}
+
+func (e *Engine) record(m *Manifest) {
+	e.mu.Lock()
+	e.manifests = append(e.manifests, m)
+	e.mu.Unlock()
+}
+
+// schemaVersion is bumped whenever the simulator's semantics change in a way
+// that invalidates previously cached results.
+const schemaVersion = "hclocksync-v1"
+
+// CodeVersion returns the string mixed into every cache key to tie entries
+// to the code that produced them: the package schema version plus, when the
+// binary embeds VCS build info, the revision (marked dirty if the working
+// tree was modified).
+func CodeVersion() string {
+	v := schemaVersion
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, modified string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			}
+		}
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if rev != "" {
+			v += "+" + rev
+			if modified == "true" {
+				v += "-dirty"
+			}
+		}
+	}
+	return v
+}

@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// simResult stands in for an experiment's typed result.
+type simResult struct {
+	Index int
+	Seed  int64
+	Value float64
+}
+
+// fakeSim is deterministic in its seed and deliberately variable in wall
+// time, so completion order scrambles under parallelism.
+func fakeSim(i int, seed int64) simResult {
+	rng := rand.New(rand.NewSource(seed))
+	time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+	return simResult{Index: i, Seed: seed, Value: rng.Float64()}
+}
+
+func makeTasks(n int) []Task[simResult] {
+	tasks := make([]Task[simResult], n)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[simResult]{
+			Name:   fmt.Sprintf("sim%d", i),
+			Config: map[string]int{"i": i},
+			Run:    func(seed int64) (simResult, error) { return fakeSim(i, seed), nil },
+		}
+	}
+	return tasks
+}
+
+func TestResultsIdenticalAcrossWorkerCounts(t *testing.T) {
+	var base []simResult
+	for _, jobs := range []int{1, 2, 8} {
+		e := New(Options{Jobs: jobs})
+		got, err := Run(e, "suite", 42, makeTasks(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = got
+			continue
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Errorf("jobs=%d: task %d = %+v, want %+v", jobs, i, got[i], base[i])
+			}
+		}
+	}
+	// Results come back in task order, not completion order.
+	for i, r := range base {
+		if r.Index != i {
+			t.Errorf("result %d has index %d", i, r.Index)
+		}
+	}
+}
+
+func TestDeriveSeedStableAndKeyed(t *testing.T) {
+	a := DeriveSeed("fig3", "run0", 3)
+	if a != DeriveSeed("fig3", "run0", 3) {
+		t.Error("DeriveSeed is not deterministic")
+	}
+	if a <= 0 {
+		t.Errorf("seed %d not positive", a)
+	}
+	for _, other := range []int64{
+		DeriveSeed("fig3", "run1", 3),
+		DeriveSeed("fig4", "run0", 3),
+		DeriveSeed("fig3", "run0", 4),
+	} {
+		if other == a {
+			t.Errorf("distinct inputs collide on %d", a)
+		}
+	}
+}
+
+func TestSharedSeedKeyPairsReplications(t *testing.T) {
+	e := New(Options{Jobs: 4})
+	var tasks []Task[int64]
+	for _, alg := range []string{"hca", "jk"} {
+		for run := 0; run < 3; run++ {
+			alg, run := alg, run
+			tasks = append(tasks, Task[int64]{
+				Name:    fmt.Sprintf("%s/run%d", alg, run),
+				SeedKey: fmt.Sprintf("run%d", run),
+				Run:     func(seed int64) (int64, error) { return seed, nil },
+			})
+		}
+	}
+	seeds, err := Run(e, "paired", 7, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		if seeds[run] != seeds[3+run] {
+			t.Errorf("run %d: algorithms got different seeds %d vs %d", run, seeds[run], seeds[3+run])
+		}
+	}
+	if seeds[0] == seeds[1] {
+		t.Error("different runs share a seed")
+	}
+}
+
+func TestErrorReportsFirstByIndex(t *testing.T) {
+	e := New(Options{Jobs: 4})
+	tasks := make([]Task[int], 10)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int]{
+			Name: fmt.Sprintf("t%d", i),
+			Run: func(int64) (int, error) {
+				if i == 3 || i == 7 {
+					return 0, fmt.Errorf("boom %d", i)
+				}
+				return i, nil
+			},
+		}
+	}
+	_, err := Run(e, "errs", 1, tasks)
+	if err == nil || !strings.Contains(err.Error(), "boom 3") {
+		t.Fatalf("err = %v, want first failure by index (boom 3)", err)
+	}
+	if !strings.Contains(err.Error(), "errs/t3") {
+		t.Errorf("err %v missing suite/task context", err)
+	}
+}
+
+func TestErrorStopsSchedulingNewTasks(t *testing.T) {
+	e := New(Options{Jobs: 1})
+	var ran atomic.Int64
+	tasks := make([]Task[int], 50)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int]{Run: func(int64) (int, error) {
+			ran.Add(1)
+			if i == 0 {
+				return 0, errors.New("early failure")
+			}
+			return i, nil
+		}}
+	}
+	if _, err := Run(e, "stop", 1, tasks); err == nil {
+		t.Fatal("expected error")
+	}
+	if n := ran.Load(); n > 5 {
+		t.Errorf("%d tasks ran after an early failure", n)
+	}
+}
+
+func TestManifestAccounting(t *testing.T) {
+	e := New(Options{Jobs: 2})
+	if _, err := Run(e, "acct", 5, makeTasks(6)); err != nil {
+		t.Fatal(err)
+	}
+	ms := e.Manifests()
+	if len(ms) != 1 {
+		t.Fatalf("%d manifests", len(ms))
+	}
+	m := ms[0]
+	if m.Suite != "acct" || m.Sims != 6 || m.BaseSeed != 5 || m.Jobs != 2 {
+		t.Errorf("manifest header = %+v", m)
+	}
+	if len(m.Tasks) != 6 {
+		t.Fatalf("%d task records", len(m.Tasks))
+	}
+	for i, rec := range m.Tasks {
+		if rec.Name != fmt.Sprintf("sim%d", i) {
+			t.Errorf("record %d name %q — records must be in task order", i, rec.Name)
+		}
+		if rec.Seed <= 0 || rec.CacheKey == "" || rec.CacheHit {
+			t.Errorf("record %d = %+v", i, rec)
+		}
+	}
+	// Without a cache every task is a miss: misses count simulations run.
+	if m.CacheHits != 0 || m.CacheMisses != 6 {
+		t.Errorf("hits=%d misses=%d", m.CacheHits, m.CacheMisses)
+	}
+	if m.SimsPerSec <= 0 || m.WallSec <= 0 {
+		t.Errorf("rates not recorded: %+v", m)
+	}
+}
+
+func TestNilEngineBehavesLikeDefault(t *testing.T) {
+	var e *Engine
+	got, err := Run(e, "nil", 1, makeTasks(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d results", len(got))
+	}
+	if e.Jobs() <= 0 {
+		t.Error("nil engine has no workers")
+	}
+}
+
+func TestProgressReporterEmits(t *testing.T) {
+	var b strings.Builder
+	e := New(Options{Jobs: 2, Reporter: NewProgressReporter(&b)})
+	if _, err := Run(e, "prog", 1, makeTasks(4)); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "prog") || !strings.Contains(out, "sims/s") {
+		t.Errorf("reporter output missing summary: %q", out)
+	}
+}

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Reporter receives progress events while a suite drains through the pool.
+// Implementations must be safe for concurrent use; the engine calls Done
+// from every worker goroutine.
+type Reporter interface {
+	Start(suite string, total int)
+	Done(suite string, rec TaskRecord, done, total int, elapsed time.Duration)
+	Finish(m *Manifest)
+}
+
+type nopReporter struct{}
+
+func (nopReporter) Start(string, int)                                {}
+func (nopReporter) Done(string, TaskRecord, int, int, time.Duration) {}
+func (nopReporter) Finish(*Manifest)                                 {}
+
+// progressReporter prints throttled one-line progress updates (jobs done,
+// sims/sec, ETA) and a per-suite summary. It writes to w — the cmd/ tools
+// pass stderr so machine-readable stdout stays clean.
+type progressReporter struct {
+	w        io.Writer
+	interval time.Duration
+
+	mu   sync.Mutex
+	last time.Time
+}
+
+// NewProgressReporter builds a reporter printing to w at most every 250 ms.
+func NewProgressReporter(w io.Writer) Reporter {
+	return &progressReporter{w: w, interval: 250 * time.Millisecond}
+}
+
+func (p *progressReporter) Start(suite string, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "harness: %s: %d sims on the queue\n", suite, total)
+}
+
+func (p *progressReporter) Done(suite string, rec TaskRecord, done, total int, elapsed time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if done < total && now.Sub(p.last) < p.interval {
+		return
+	}
+	p.last = now
+	rate := float64(done) / elapsed.Seconds()
+	eta := "?"
+	if rate > 0 {
+		eta = (time.Duration(float64(total-done) / rate * float64(time.Second))).Round(time.Second).String()
+	}
+	fmt.Fprintf(p.w, "harness: %s: %d/%d sims | %.1f sims/s | ETA %s\n",
+		suite, done, total, rate, eta)
+}
+
+func (p *progressReporter) Finish(m *Manifest) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "harness: %s: done in %.2fs — %d sims, %.1f sims/s, %d/%d from cache\n",
+		m.Suite, m.WallSec, m.Sims, m.SimsPerSec, m.CacheHits, m.Sims)
+}

@@ -1,0 +1,31 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// DeriveSeed maps (suite, key, base seed) to a simulation seed through
+// SHA-256. The derivation is a pure function of its arguments — never of
+// worker count, GOMAXPROCS, or scheduling order — which is what lets the
+// engine parallelize replications without changing published numbers.
+//
+// The key names one replication within the suite; the engine defaults it to
+// "job<index>", and experiments override it (for example "run3") when
+// several tasks must share one machine instantiation, as in the paired
+// algorithm comparisons of Figs. 3–6 where every algorithm of run r meets
+// the same clock draws.
+//
+// The result is always positive, so callers can keep using zero and
+// negative seeds as sentinels.
+func DeriveSeed(suite, key string, base int64) int64 {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%d", suite, key, base)
+	sum := h.Sum(nil)
+	v := int64(binary.BigEndian.Uint64(sum[:8]) &^ (1 << 63))
+	if v == 0 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is one independent unit of work in a suite — in this repository,
+// one simulated mpirun. Run must be a pure function of the seed it is
+// handed (plus the configuration captured in its closure): tasks execute
+// concurrently and their results are cached, so hidden inputs would break
+// both determinism and cache correctness.
+type Task[R any] struct {
+	// Name identifies the task inside the suite's manifest; it must be
+	// unique within the suite. Empty defaults to "job<index>".
+	Name string
+	// SeedKey feeds DeriveSeed together with the suite name and base seed.
+	// Empty defaults to "job<index>". Tasks sharing a SeedKey receive the
+	// same seed — the paired-replication design of Figs. 3–6, where every
+	// algorithm of run r must meet the same machine instantiation.
+	SeedKey string
+	// Config is the JSON-serializable description of everything that
+	// determines the result besides the seed; it is the cache-key material
+	// and is echoed into the manifest. An unserializable config is an
+	// error; an unserializable *result* merely skips the cache.
+	Config any
+	// Run executes the task with the derived seed. The result must be a
+	// JSON-round-trippable value for caching to engage.
+	Run func(seed int64) (R, error)
+}
+
+// Run executes tasks through e's worker pool and returns their results in
+// task order — never in completion order. Each task's seed derives from
+// (suite, SeedKey, baseSeed) via DeriveSeed. On error, the first failing
+// task (by index, not by completion time) is reported; the engine still
+// drains tasks already started but skips ones not yet begun.
+func Run[R any](e *Engine, suite string, baseSeed int64, tasks []Task[R]) ([]R, error) {
+	e = e.get()
+	n := len(tasks)
+	results := make([]R, n)
+	errs := make([]error, n)
+	recs := make([]TaskRecord, n)
+
+	started := time.Now()
+	e.reporter.Start(suite, n)
+
+	var failed atomic.Bool
+	var done atomic.Int64
+	runOne := func(i int) {
+		t := tasks[i]
+		name := t.Name
+		if name == "" {
+			name = fmt.Sprintf("job%d", i)
+		}
+		seedKey := t.SeedKey
+		if seedKey == "" {
+			seedKey = fmt.Sprintf("job%d", i)
+		}
+		seed := DeriveSeed(suite, seedKey, baseSeed)
+		rec := TaskRecord{Name: name, SeedKey: seedKey, Seed: seed}
+		if cfg, err := json.Marshal(t.Config); err == nil {
+			rec.Config = cfg
+		}
+		t0 := time.Now()
+
+		key, kerr := CacheKey(e.version, suite, name, seed, t.Config)
+		if kerr != nil {
+			errs[i] = kerr
+			rec.Error = kerr.Error()
+			failed.Store(true)
+		} else {
+			rec.CacheKey = key
+			if e.cache.Get(key, &results[i]) {
+				rec.CacheHit = true
+			} else {
+				res, err := t.Run(seed)
+				if err != nil {
+					errs[i] = fmt.Errorf("%s/%s: %w", suite, name, err)
+					rec.Error = errs[i].Error()
+					failed.Store(true)
+				} else {
+					results[i] = res
+					e.cache.Put(key, e.version, suite, name, seed, t.Config, res)
+				}
+			}
+		}
+		rec.WallSec = time.Since(t0).Seconds()
+		recs[i] = rec
+		e.reporter.Done(suite, rec, int(done.Add(1)), n, time.Since(started))
+	}
+
+	workers := e.jobs
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range tasks {
+			if failed.Load() {
+				break
+			}
+			runOne(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					if failed.Load() {
+						continue
+					}
+					runOne(i)
+				}
+			}()
+		}
+		for i := range tasks {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	m := &Manifest{
+		Suite:    suite,
+		Version:  e.version,
+		Jobs:     e.jobs,
+		BaseSeed: baseSeed,
+		Started:  started,
+		WallSec:  time.Since(started).Seconds(),
+		Sims:     n,
+		Tasks:    recs,
+	}
+	if m.WallSec > 0 {
+		m.SimsPerSec = float64(n) / m.WallSec
+	}
+	for _, r := range recs {
+		if r.CacheHit {
+			m.CacheHits++
+		} else if r.Error == "" && r.CacheKey != "" {
+			m.CacheMisses++
+		}
+	}
+	e.record(m)
+	e.reporter.Finish(m)
+
+	for i := range errs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+	return results, nil
+}
