@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check clean
+.PHONY: all build vet test race fuzz check clean
 
 all: check
 
@@ -13,10 +13,16 @@ vet:
 test:
 	$(GO) test ./...
 
-# The engine, simulator, and MPI layers are the concurrency-bearing
-# packages; run them under the race detector.
+# The engine, simulator, MPI, and fault-tolerant sync layers are the
+# concurrency-bearing packages; run them under the race detector.
 race:
-	$(GO) test -race ./internal/sim ./internal/mpi ./internal/harness
+	$(GO) test -race ./internal/sim ./internal/mpi ./internal/harness ./internal/clocksync ./internal/faults
+
+# Short smoke run of the native fuzz targets (seed corpora always run as
+# part of `make test`; this explores beyond them).
+fuzz:
+	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzLinkSpecSample -fuzztime 10s
+	$(GO) test ./internal/clocksync -run '^$$' -fuzz FuzzFitOffsetSamples -fuzztime 10s
 
 check: build vet test race
 

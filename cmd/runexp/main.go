@@ -148,6 +148,14 @@ func registry() []suiteDef {
 			seeded(seed, &cfg.Job.Seed)
 			return experiments.RunTuning(eng, cfg)
 		}},
+		{"faults", "Faults — FT-HCA3 sync error under drop rate x crash count", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+			cfg := experiments.DefaultFaultsConfig()
+			if tiny {
+				cfg = experiments.TinyFaultsConfig()
+			}
+			seeded(seed, &cfg.Job.Seed)
+			return experiments.RunFaults(eng, cfg)
+		}},
 	}
 }
 

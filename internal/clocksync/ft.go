@@ -1,0 +1,443 @@
+package clocksync
+
+import (
+	"fmt"
+	"math"
+
+	"hclocksync/internal/clock"
+	"hclocksync/internal/mpi"
+	"hclocksync/internal/stats"
+)
+
+// Fault-tolerant synchronization.
+//
+// The plain algorithms assume a healthy cluster: every Recv blocks until
+// its message arrives, so one lost message or dead rank hangs the whole
+// job. The fault-tolerant variant rebuilds HCA3 on three changes:
+//
+//  1. Membership. The communicator is shrunk to the survivor set before
+//     the tree is formed (Comm.ShrinkSurvivors, an oracle failure
+//     detector). If the original reference rank 0 is doomed, the lowest
+//     surviving rank takes its place simply by being rank 0 of the shrunk
+//     communicator — reference re-election falls out of the shrink.
+//
+//  2. Timeouts. Every exchange is a sequence-numbered ping/pong bounded by
+//     RecvTimeout on both sides, so dropped or duplicated messages cost a
+//     timeout window instead of a deadlock. Stale or duplicate packets are
+//     identified by their sequence number and discarded.
+//
+//  3. Quality reporting. Each rank returns a RankSync describing how well
+//     its model was learned (samples kept, exchanges lost, degraded
+//     fallback) instead of silently producing a garbage model.
+//
+// Offsets are estimated NTP-style — one ping/pong yields one
+// (timestamp, offset) sample, the reference timestamp bracketed by the
+// client's send and receive readings — rather than SKaMPI's
+// minimum-bound filtering, which needs an uninterrupted exchange burst
+// that lossy links cannot guarantee.
+
+// FT tags live above the plain algorithms' fixed tag block (901–905).
+// Every (reference, client) pair meets at most once in the HCA3 tree, and
+// mailboxes are keyed by (src, dst, tag), so the fixed pair is
+// unambiguous.
+const (
+	ftTagPing = 1001 // client → ref: [seq] (seq −1 = session done)
+	ftTagPong = 1002 // ref → client: [seq, refClockReading]
+)
+
+// FTOpts tunes the fault-tolerant exchanges. The zero value picks
+// defaults.
+type FTOpts struct {
+	// Timeout bounds each wait for a ping or pong, in true seconds
+	// (default 1 ms — far above any healthy RTT in the machine models).
+	Timeout float64
+	// Attempts is how many consecutive timeouts either side tolerates
+	// mid-session before declaring the peer unresponsive (default 5).
+	Attempts int
+	// Connect is the patience, in Timeout windows, both sides grant the
+	// FIRST exchange of a session (default 100). The tree rounds are not
+	// lockstep — a reference may still be serving its previous round when
+	// its next client starts pinging — so first contact needs far more
+	// patience than a mid-session drop, and connect misses must not count
+	// against the exchange budget.
+	Connect int
+	// Gap is an optional client-side pause between successive exchanges,
+	// in true seconds (default 0, back-to-back). A non-zero gap widens the
+	// fit span, which directly shrinks the noise on the fitted drift slope
+	// and therefore the error growth after the sync. Keep it of the same
+	// order as Timeout; the serving side extends its windows by Gap.
+	Gap float64
+	// MinSamples is the minimum number of kept offset samples below which
+	// the learned model is flagged Degraded (default 3). A degraded model
+	// keeps only the offset correction — a slope fitted through fewer
+	// points would be dominated by noise and explode under extrapolation.
+	MinSamples int
+}
+
+func (o FTOpts) withDefaults() FTOpts {
+	if o.Timeout <= 0 {
+		o.Timeout = 1e-3
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = 5
+	}
+	if o.Connect <= 0 {
+		o.Connect = 100
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 3
+	}
+	return o
+}
+
+// RankSync is one rank's sync-quality report from a fault-tolerant
+// synchronization.
+type RankSync struct {
+	Rank int `json:"rank"` // world rank
+	// Alive is false for ranks excluded from the survivor tree (their
+	// crash is in the fault schedule); such ranks keep their local clock.
+	Alive bool `json:"alive"`
+	// Ref is the world rank this rank learned its final model from, or −1
+	// for the reference root (and for excluded ranks).
+	Ref int `json:"ref"`
+	// Samples and Lost count the offset exchanges kept and lost while
+	// learning the final model.
+	Samples int `json:"samples"`
+	Lost    int `json:"lost"`
+	// Degraded marks a model learned from fewer than MinSamples samples
+	// (with zero samples the rank falls back to the identity model).
+	Degraded bool `json:"degraded"`
+}
+
+// FitOffsetSamples fits a linear drift model to measured offset samples.
+// It is total: non-finite samples are discarded and degenerate sets get
+// conservative fallbacks (one sample → horizontal line; singular fit →
+// horizontal line through the mean) instead of NaN/Inf models. ok is false
+// when no usable sample remains; the returned model is then the identity.
+func FitOffsetSamples(samples []ClockOffset) (lm clock.LinearModel, ok bool) {
+	xs := make([]float64, 0, len(samples))
+	ys := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		if finite(s.Timestamp) && finite(s.Offset) {
+			xs = append(xs, s.Timestamp)
+			ys = append(ys, s.Offset)
+		}
+	}
+	if len(xs) == 0 {
+		return clock.LinearModel{}, false
+	}
+	fit := stats.FitLinear(xs, ys)
+	lm = clock.LinearModel{Slope: fit.Slope, Intercept: fit.Intercept}
+	if finite(lm.Slope) && finite(lm.Intercept) {
+		return lm, true
+	}
+	// Extreme inputs can overflow the regression sums even when each
+	// sample is finite; fall back to a horizontal line through the mean,
+	// computed incrementally so it stays finite whenever the data is.
+	var mean float64
+	for i, y := range ys {
+		mean += (y - mean) / float64(i+1)
+	}
+	if !finite(mean) {
+		return clock.LinearModel{}, false
+	}
+	return clock.LinearModel{Intercept: mean}, true
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// ftServe is the reference side of one learning session: answer
+// sequence-numbered pings with (seq, reference clock reading) until the
+// client's done marker, the client's scheduled death, or the patience
+// budget runs out.
+func ftServe(comm *mpi.Comm, clk clock.Clock, client int, o FTOpts) {
+	misses, served := 0, false
+	last := -1
+	for {
+		if comm.DeadNow(client) {
+			return
+		}
+		b, ok := comm.RecvTimeout(client, ftTagPing, o.Timeout+o.Gap)
+		if !ok {
+			misses++
+			budget := o.Attempts
+			if !served {
+				budget = o.Connect // the client may still be in an earlier round
+			}
+			if misses >= budget {
+				return
+			}
+			continue
+		}
+		misses = 0
+		served = true
+		seq := int(mpi.DecodeF64s(b)[0])
+		if seq < 0 {
+			return
+		}
+		if seq <= last {
+			continue // duplicate of an already-served ping
+		}
+		last = seq
+		comm.Send(client, ftTagPong, mpi.EncodeF64s([]float64{float64(seq), clk.Time()}))
+	}
+}
+
+// ftSample is the client side: run n ping/pong exchanges against ref,
+// each yielding one NTP-style offset sample (offset = client − ref), and
+// report how many exchanges were lost to drops, timeouts, or the RTT
+// filter.
+//
+// The RTT filter matters: in the HCA3 tree a client's first ping can sit
+// in the reference's queue while the reference finishes serving the
+// previous round, and a queued exchange corrupts the midpoint estimate by
+// half the queueing delay. Exchanges whose round-trip is far above the
+// session minimum are therefore discarded, the same idea as SKaMPI's
+// minimum-bound filtering.
+func ftSample(comm *mpi.Comm, clk clock.Clock, ref, n int, o FTOpts) (samples []ClockOffset, lost int) {
+	var raws []ftRaw
+	p := comm.Proc()
+	// The wire sequence number advances on every ping sent — including
+	// connect retries — so the reference always answers and stale pongs are
+	// unambiguous; it is deliberately decoupled from the fit-point index.
+	seq := 0
+	attempt := func() (r ftRaw, ok bool) {
+		sLast := clk.Time()
+		comm.Send(ref, ftTagPing, mpi.EncodeF64s([]float64{float64(seq)}))
+		want := seq
+		seq++
+		deadline := p.TrueNow() + o.Timeout
+		for {
+			rem := deadline - p.TrueNow()
+			if rem <= 0 {
+				return ftRaw{}, false
+			}
+			b, ok := comm.RecvTimeout(ref, ftTagPong, rem)
+			if !ok {
+				return ftRaw{}, false
+			}
+			v := mpi.DecodeF64s(b)
+			if int(v[0]) != want {
+				// A stale pong (lost exchange's late reply or an injected
+				// duplicate): discard and keep waiting out the deadline.
+				continue
+			}
+			sNow := clk.Time()
+			// v[1] was read on the reference between sLast and sNow on the
+			// client's axis.
+			refMinusClient := v[1] - (sLast+sNow)/2
+			return ftRaw{
+				s:   ClockOffset{Timestamp: sNow, Offset: -refMinusClient},
+				rtt: sNow - sLast,
+			}, true
+		}
+	}
+	done := func() {
+		if !comm.DeadNow(ref) {
+			comm.Send(ref, ftTagPing, mpi.EncodeF64s([]float64{-1}))
+		}
+	}
+
+	// Connect phase: the reference may still be serving an earlier tree
+	// round, so the first exchange gets o.Connect timeout windows before
+	// the session is abandoned, and those misses don't touch the exchange
+	// budget. The first successful exchange is fit point 0.
+	connected := false
+	for a := 0; a < o.Connect && !connected; a++ {
+		if comm.DeadNow(ref) {
+			return nil, n
+		}
+		var r ftRaw
+		if r, connected = attempt(); connected {
+			raws = append(raws, r)
+		}
+	}
+	if !connected {
+		done()
+		return nil, n
+	}
+
+	misses := 0
+	for i := 1; i < n; i++ {
+		if comm.DeadNow(ref) {
+			lost += n - i
+			break
+		}
+		if o.Gap > 0 {
+			p.Advance(o.Gap)
+		}
+		r, ok := attempt()
+		if !ok {
+			lost++
+			misses++
+			if misses >= o.Attempts {
+				lost += n - i - 1
+				break
+			}
+			continue
+		}
+		misses = 0
+		raws = append(raws, r)
+	}
+	done()
+	return ftFilter(raws, &lost), lost
+}
+
+// ftRaw is one unfiltered exchange: the offset sample and the round-trip
+// time it was measured under.
+type ftRaw struct {
+	s   ClockOffset
+	rtt float64
+}
+
+// ftFilter keeps the samples whose round-trip time is close to the session
+// minimum, counting the discarded ones as lost.
+func ftFilter(raws []ftRaw, lost *int) []ClockOffset {
+	if len(raws) == 0 {
+		return nil
+	}
+	min := raws[0].rtt
+	for _, r := range raws[1:] {
+		if r.rtt < min {
+			min = r.rtt
+		}
+	}
+	limit := 1.5*min + 1e-9
+	var kept []ClockOffset
+	for _, r := range raws {
+		if r.rtt <= limit {
+			kept = append(kept, r.s)
+		} else {
+			*lost++
+		}
+	}
+	return kept
+}
+
+// LearnClockModelFT is the fault-tolerant counterpart of LearnClockModel:
+// the (ref, client) pair runs nfit timeout-bounded exchanges and the
+// client fits a drift model from whatever samples survived. The reference
+// returns the zero model. degraded is set when fewer than o.MinSamples
+// samples were kept; with zero samples the model is the identity.
+func LearnClockModelFT(comm *mpi.Comm, nfit int, o FTOpts, ref, client int,
+	clk clock.Clock) (lm clock.LinearModel, samples, lost int, degraded bool) {
+	if nfit <= 0 {
+		nfit = 100
+	}
+	o = o.withDefaults()
+	switch comm.Rank() {
+	case ref:
+		ftServe(comm, clk, client, o)
+		return clock.LinearModel{}, 0, 0, false
+	case client:
+		ss, lost := ftSample(comm, clk, ref, nfit, o)
+		lm, ok := FitOffsetSamples(ss)
+		degraded = !ok || len(ss) < o.MinSamples
+		if degraded && ok {
+			// Too few samples to trust a fitted slope — through two points
+			// a few RTTs apart it would be pure noise, exploding under
+			// extrapolation. Keep only the offset correction.
+			var mean float64
+			for i, s := range ss {
+				mean += (s.Offset - mean) / float64(i+1)
+			}
+			lm = clock.LinearModel{Intercept: mean}
+		}
+		return lm, len(ss), lost, degraded
+	default:
+		panic(fmt.Sprintf("clocksync: rank %d in LearnClockModelFT(%d,%d)", comm.Rank(), ref, client))
+	}
+}
+
+// HCA3FT is the fault-tolerant HCA3: the same binomial-tree reference
+// propagation, run on the survivor communicator with timeout-bounded
+// exchanges and per-rank quality reporting. See the package comment block
+// above for the fault model.
+type HCA3FT struct {
+	// NFitpoints is the number of offset exchanges per (ref, client) pair
+	// (default 100). There is no nested Offset algorithm: the FT exchange
+	// is its own estimator.
+	NFitpoints int
+	Opts       FTOpts
+}
+
+// Name returns the paper-style label.
+func (h HCA3FT) Name() string {
+	n := h.NFitpoints
+	if n <= 0 {
+		n = 100
+	}
+	return fmt.Sprintf("hca3ft/%d", n)
+}
+
+// Sync implements Algorithm, discarding the per-rank report.
+func (h HCA3FT) Sync(comm *mpi.Comm, clk clock.Clock) clock.Clock {
+	g, _ := h.SyncFT(comm, clk)
+	return g
+}
+
+// SyncFT synchronizes the survivors of comm and reports each rank's sync
+// quality. Ranks whose crash is scheduled (and ranks that learned zero
+// samples) keep their local clock; everyone returns, nobody hangs.
+func (h HCA3FT) SyncFT(comm *mpi.Comm, clk clock.Clock) (clock.Clock, RankSync) {
+	o := h.Opts.withDefaults()
+	rep := RankSync{Rank: comm.WorldRank(comm.Rank()), Ref: -1}
+	s := comm.ShrinkSurvivors()
+	if s == nil {
+		// Doomed rank: excluded from the survivor tree, keeps local time.
+		return clk, rep
+	}
+	rep.Alive = true
+	nprocs := s.Size()
+	r := s.Rank()
+	nrounds := log2floor(nprocs)
+	maxPower := 1 << nrounds
+	myClk := clk
+
+	// Scale the first-contact patience to the tree: a pair's partner can be
+	// busy with up to nrounds earlier sessions, each bounded by NFitpoints
+	// exchanges of at most Gap + 2·Timeout (a lost exchange costs a full
+	// timeout window on both sides).
+	nfit := h.NFitpoints
+	if nfit <= 0 {
+		nfit = 100
+	}
+	minConnect := int(math.Ceil(float64(nrounds+1) * float64(nfit) * (o.Gap + 2*o.Timeout) / o.Timeout))
+	if o.Connect < minConnect {
+		o.Connect = minConnect
+	}
+
+	learn := func(ref, client int) {
+		lm, n, lost, deg := LearnClockModelFT(s, h.NFitpoints, o, ref, client, myClk)
+		if r != client {
+			return
+		}
+		rep.Ref = s.WorldRank(ref)
+		rep.Samples, rep.Lost, rep.Degraded = n, lost, deg
+		if n > 0 {
+			myClk = clock.New(clk, lm)
+		}
+	}
+
+	// Step 1: ranks 0 … maxPower−1, top of the binomial tree first.
+	for i := nrounds; i >= 1; i-- {
+		if r >= maxPower {
+			break
+		}
+		running := 1 << i
+		next := 1 << (i - 1)
+		switch {
+		case r%running == 0:
+			learn(r, r+next)
+		case r%running == next:
+			learn(r-next, r)
+		}
+	}
+	// Step 2: remainder ranks learn from their synchronized partner.
+	if r >= maxPower {
+		learn(r-maxPower, r)
+	} else if r < nprocs-maxPower {
+		learn(r, r+maxPower)
+	}
+	return myClk, rep
+}

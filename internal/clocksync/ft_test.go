@@ -1,0 +1,162 @@
+package clocksync
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"hclocksync/internal/clock"
+	"hclocksync/internal/cluster"
+	"hclocksync/internal/faults"
+	"hclocksync/internal/mpi"
+)
+
+func TestFitOffsetSamplesDegenerate(t *testing.T) {
+	if _, ok := FitOffsetSamples(nil); ok {
+		t.Error("empty sample set fitted a model")
+	}
+	lm, ok := FitOffsetSamples([]ClockOffset{{Timestamp: 5, Offset: 2e-6}})
+	if !ok || lm.Slope != 0 || lm.Intercept != 2e-6 {
+		t.Errorf("one sample: got %+v, %v; want horizontal through 2e-6", lm, ok)
+	}
+	// Non-finite samples are dropped, not propagated.
+	lm, ok = FitOffsetSamples([]ClockOffset{
+		{Timestamp: math.NaN(), Offset: 1},
+		{Timestamp: 1, Offset: math.Inf(1)},
+		{Timestamp: 2, Offset: 3e-6},
+	})
+	if !ok || lm.Slope != 0 || lm.Intercept != 3e-6 {
+		t.Errorf("filtered fit: got %+v, %v", lm, ok)
+	}
+	if _, ok := FitOffsetSamples([]ClockOffset{{Timestamp: math.NaN(), Offset: math.NaN()}}); ok {
+		t.Error("all-NaN sample set fitted a model")
+	}
+	// Identical timestamps make the regression singular; the fallback is a
+	// horizontal line through the mean.
+	lm, ok = FitOffsetSamples([]ClockOffset{{Timestamp: 1, Offset: 2}, {Timestamp: 1, Offset: 4}})
+	if !ok || lm.Slope != 0 || lm.Intercept != 3 {
+		t.Errorf("singular fit: got %+v, %v; want horizontal through 3", lm, ok)
+	}
+}
+
+// On a healthy, noise-free machine the FT variant should be as exact as
+// the plain algorithms. One FT fit point costs a single ping/pong where a
+// SKaMPI fit point costs NExchanges of them, so the message-budget
+// equivalent of smallParams (15 × 8) is 120 fit points — and the fit-span
+// parity keeps the slope's floating-point noise floor comparable too.
+func TestHCA3FTExactOnOffsetOnlyClocks(t *testing.T) {
+	at0, at60 := syncSpread(t, offsetOnlyBox(), 16, 48, HCA3FT{NFitpoints: 120}, 60)
+	if at0 > 5e-7 {
+		t.Errorf("spread at 0 s = %v, want < 0.5 µs", at0)
+	}
+	if at60 > 1e-6 {
+		t.Errorf("spread after 60 s = %v", at60)
+	}
+}
+
+// ftReports runs HCA3FT under the given plan and returns the per-rank
+// reports plus every survivor's global-clock reading at a common instant.
+func ftReports(t *testing.T, nprocs int, seed int64, plan faults.Plan,
+	alg HCA3FT) ([]RankSync, []float64) {
+	t.Helper()
+	var mu sync.Mutex
+	reps := make([]RankSync, nprocs)
+	var readings []float64
+	cfg := mpi.Config{
+		Spec:   cluster.TestBox(),
+		NProcs: nprocs,
+		Seed:   seed,
+		Faults: faults.NewInjector(plan),
+	}
+	err := mpi.Run(cfg, func(p *mpi.Proc) {
+		g, rep := alg.SyncFT(p.World(), clock.NewLocal(p))
+		mu.Lock()
+		reps[p.Rank()] = rep
+		mu.Unlock()
+		if !rep.Alive {
+			return
+		}
+		s := p.World().ShrinkSurvivors()
+		end := s.AllreduceF64(p.TrueNow(), mpi.OpMax)
+		mu.Lock()
+		readings = append(readings, globalReading(g, p.HWClock(), end))
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reps, readings
+}
+
+// The acceptance scenario: the reference rank 0 crashes, HCA3FT completes
+// on the survivors with the lowest survivor as the re-elected root, and
+// every survivor reports a finite sync error.
+func TestHCA3FTSurvivesCrashedRoot(t *testing.T) {
+	const n = 8
+	plan := faults.Plan{Crashes: []faults.Crash{{Rank: 0, At: 0}}, Seed: 1}
+	alg := HCA3FT{NFitpoints: 20}
+	reps, readings := ftReports(t, n, 77, plan, alg)
+	if reps[0].Alive {
+		t.Error("doomed root reported alive")
+	}
+	if reps[1].Ref != -1 {
+		t.Errorf("rank 1 should be the re-elected root (Ref −1), got Ref %d", reps[1].Ref)
+	}
+	for r := 1; r < n; r++ {
+		rep := reps[r]
+		if !rep.Alive {
+			t.Errorf("survivor %d not alive: %+v", r, rep)
+		}
+		if rep.Degraded {
+			t.Errorf("survivor %d degraded without message loss: %+v", r, rep)
+		}
+		// The RTT filter may discard a queued first exchange; everything
+		// else must survive on a lossless link.
+		if rep.Ref != -1 && rep.Samples < alg.NFitpoints-2 {
+			t.Errorf("survivor %d kept only %d/%d samples on a lossless link", r, rep.Samples, alg.NFitpoints)
+		}
+	}
+	if len(readings) != n-1 {
+		t.Fatalf("%d survivors reported readings, want %d", len(readings), n-1)
+	}
+	lo, hi := readings[0], readings[0]
+	for _, v := range readings {
+		if !finite(v) {
+			t.Fatalf("non-finite global reading %v", v)
+		}
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if spread := hi - lo; spread > 1e-3 {
+		t.Errorf("survivor clock spread %v, want < 1 ms", spread)
+	}
+}
+
+// Under message loss the sync still completes, every exchange is accounted
+// for, and the models stay finite.
+func TestHCA3FTCompletesUnderDrops(t *testing.T) {
+	const n = 8
+	plan := faults.Plan{DropProb: 0.05, Seed: 9}
+	alg := HCA3FT{NFitpoints: 20}
+	reps, readings := ftReports(t, n, 78, plan, alg)
+	for r, rep := range reps {
+		if !rep.Alive {
+			t.Errorf("rank %d not alive: %+v", r, rep)
+		}
+		if rep.Ref != -1 {
+			if rep.Samples+rep.Lost != alg.NFitpoints {
+				t.Errorf("rank %d: samples %d + lost %d != %d", r, rep.Samples, rep.Lost, alg.NFitpoints)
+			}
+			if rep.Samples == 0 {
+				t.Errorf("rank %d kept no samples at 5%% loss", r)
+			}
+		}
+	}
+	if len(readings) != n {
+		t.Fatalf("%d readings, want %d", len(readings), n)
+	}
+	for _, v := range readings {
+		if !finite(v) {
+			t.Fatalf("non-finite global reading %v", v)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package clocksync
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"hclocksync/internal/clock"
+)
+
+// fuzzSamples decodes the fuzzer's raw bytes into offset samples, 16 bytes
+// per (timestamp, offset) pair, bit patterns taken verbatim — so NaNs,
+// infinities, and denormals all reach the estimator.
+func fuzzSamples(raw []byte) []ClockOffset {
+	var samples []ClockOffset
+	for i := 0; i+16 <= len(raw) && len(samples) < 4096; i += 16 {
+		samples = append(samples, ClockOffset{
+			Timestamp: math.Float64frombits(binary.LittleEndian.Uint64(raw[i:])),
+			Offset:    math.Float64frombits(binary.LittleEndian.Uint64(raw[i+8:])),
+		})
+	}
+	return samples
+}
+
+// FuzzFitOffsetSamples checks that the FT drift estimator is total: for any
+// sample set — empty, degenerate, non-finite, or overflowing — it must not
+// panic, and it must either decline (ok=false, identity model) or return a
+// fully finite model.
+func FuzzFitOffsetSamples(f *testing.F) {
+	enc := func(vals ...float64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(enc())                                       // no samples
+	f.Add(enc(1, 2e-6))                                // one sample
+	f.Add(enc(1, 2e-6, 2, 2.1e-6, 3, 2.2e-6))          // clean ramp
+	f.Add(enc(math.NaN(), 1, 1, math.Inf(1)))          // non-finite fields
+	f.Add(enc(1, 1, 1, 2))                             // singular regression
+	f.Add(enc(1e308, 1e308, -1e308, 1e308, 2, 1e308))  // overflowing sums
+	f.Add(enc(5e-324, 1e-300, -5e-324, -1e-300, 0, 0)) // denormals
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		samples := fuzzSamples(raw)
+		lm, ok := FitOffsetSamples(samples)
+		if !ok {
+			if lm != (clock.LinearModel{}) {
+				t.Fatalf("declined fit returned non-identity model %+v", lm)
+			}
+			return
+		}
+		if !finite(lm.Slope) || !finite(lm.Intercept) {
+			t.Fatalf("non-finite model %+v from %d samples", lm, len(samples))
+		}
+		usable := false
+		for _, s := range samples {
+			if finite(s.Timestamp) && finite(s.Offset) {
+				usable = true
+				break
+			}
+		}
+		if !usable {
+			t.Fatalf("model %+v fitted with no finite sample", lm)
+		}
+	})
+}

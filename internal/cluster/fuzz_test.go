@@ -1,0 +1,43 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzLinkSpecSample checks the delay model's contract over arbitrary
+// physically meaningful specs: every sampled delay is finite, non-negative,
+// and never below the jitter-free minimum — the invariant minimum-RTT
+// filtering (SKaMPI-Offset, the FT RTT filter) depends on.
+func FuzzLinkSpecSample(f *testing.F) {
+	f.Add(2.5e-6, 1.25e-10, 1e-7, 0.01, 1e-4, 1024, int64(1))
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0, int64(2))
+	f.Add(1e-3, 0.0, 5e-6, 1.0, 1e-2, 1<<20, int64(3))
+	f.Add(5e-7, 3e-11, 0.0, 0.0, 1e9, 64, int64(4)) // spike scale without spike prob
+	f.Fuzz(func(t *testing.T, alpha, beta, jitter, spikeProb, spikeScale float64, nbytes int, seed int64) {
+		for _, v := range []float64{alpha, beta, jitter, spikeProb, spikeScale} {
+			if math.IsNaN(v) || v < 0 || v > 1e9 {
+				t.Skip("not a physically meaningful spec")
+			}
+		}
+		if nbytes < 0 || nbytes > 1<<40 {
+			t.Skip("not a physically meaningful message size")
+		}
+		spec := LinkSpec{
+			Alpha: alpha, Beta: beta,
+			JitterSigma: jitter, SpikeProb: spikeProb, SpikeScale: spikeScale,
+		}
+		rng := rand.New(rand.NewSource(seed))
+		min := spec.Min(nbytes)
+		for i := 0; i < 16; i++ {
+			d := spec.Sample(nbytes, rng)
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				t.Fatalf("Sample(%d) = %v on %+v", nbytes, d, spec)
+			}
+			if d < 0 || d < min {
+				t.Fatalf("Sample(%d) = %v below Min %v on %+v", nbytes, d, min, spec)
+			}
+		}
+	})
+}

@@ -1,0 +1,235 @@
+// Package faults provides deterministic fault injection for the simulated
+// cluster: message drops and duplicates, degraded-link episodes, transient
+// stragglers, and rank crash-stops.
+//
+// The design splits "what goes wrong" from "when the dice are rolled":
+//
+//   - A Plan is the complete, JSON-serializable fault schedule of one
+//     simulated job — crash times, degraded episodes, and the probabilities
+//     of the per-message faults. Plans are pure data: they can be recorded
+//     in a run manifest and replayed byte-identically.
+//
+//   - An Injector executes a Plan. Per-message coin flips (drop, duplicate)
+//     and fault-related delay draws come from the injector's own random
+//     stream, seeded from the plan — never from the simulation kernel's
+//     stream. A plan with zero probabilities and no crashes therefore
+//     leaves the simulation byte-identical to a run with no injector at
+//     all, which is the regression guarantee the experiment suites rely on.
+//
+// Schedules are derived from a PlanConfig and a run seed (see
+// PlanConfig.Derive), so the harness's manifest seed is sufficient to
+// reconstruct the exact fault sequence of any run.
+package faults
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Crash is a crash-stop fault: world rank Rank halts permanently at true
+// simulation time At. Messages sent before the crash stay in flight.
+type Crash struct {
+	Rank int     `json:"rank"`
+	At   float64 `json:"at"`
+}
+
+// Episode is a degraded-link window: between From and To (true time), every
+// message sent by Rank (or by any rank if Rank is -1) has its network delay
+// multiplied by Factor and increased by Extra seconds. Factor 0 is treated
+// as 1. Episodes model transient stragglers and congested links.
+type Episode struct {
+	From   float64 `json:"from"`
+	To     float64 `json:"to"`
+	Rank   int     `json:"rank"` // -1 = all ranks
+	Factor float64 `json:"factor,omitempty"`
+	Extra  float64 `json:"extra,omitempty"`
+}
+
+// Plan is the full fault schedule of one simulated job. The zero value is a
+// healthy cluster.
+type Plan struct {
+	// DropProb is the probability that any one message is silently lost.
+	DropProb float64 `json:"drop_prob,omitempty"`
+	// DupProb is the probability that any one message is delivered twice
+	// (the duplicate takes an independently sampled, later delay).
+	DupProb float64 `json:"dup_prob,omitempty"`
+	// Crashes are the scheduled crash-stops, at most one per rank.
+	Crashes []Crash `json:"crashes,omitempty"`
+	// Episodes are the degraded-link windows.
+	Episodes []Episode `json:"episodes,omitempty"`
+	// Seed seeds the injector's private random stream for per-message
+	// coin flips and duplicate-delay draws.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Zero reports whether the plan injects nothing at all.
+func (p Plan) Zero() bool {
+	return p.DropProb <= 0 && p.DupProb <= 0 && len(p.Crashes) == 0 && len(p.Episodes) == 0
+}
+
+// PlanConfig describes fault *intensity*; Derive expands it into a concrete
+// Plan for one job using the run seed. It is the JSON-serializable knob set
+// experiment configs carry.
+type PlanConfig struct {
+	DropProb float64 `json:"drop_prob,omitempty"`
+	DupProb  float64 `json:"dup_prob,omitempty"`
+	// NCrashes ranks are chosen uniformly (without replacement) among all
+	// ranks — including rank 0, so reference re-election is exercised —
+	// each with a crash time uniform in [CrashFrom, CrashTo).
+	NCrashes  int     `json:"n_crashes,omitempty"`
+	CrashFrom float64 `json:"crash_from,omitempty"`
+	CrashTo   float64 `json:"crash_to,omitempty"`
+	// NEpisodes degraded windows are placed uniformly in [EpisodeFrom,
+	// EpisodeTo), each EpisodeLen long, hitting one random rank with the
+	// given Factor/Extra.
+	NEpisodes     int     `json:"n_episodes,omitempty"`
+	EpisodeFrom   float64 `json:"episode_from,omitempty"`
+	EpisodeTo     float64 `json:"episode_to,omitempty"`
+	EpisodeLen    float64 `json:"episode_len,omitempty"`
+	EpisodeFactor float64 `json:"episode_factor,omitempty"`
+	EpisodeExtra  float64 `json:"episode_extra,omitempty"`
+}
+
+// Derive expands the config into a concrete Plan for a job with nprocs
+// ranks. It is a pure function of (config, nprocs, seed): the same inputs
+// always yield the same schedule, which is what makes fault experiments
+// replayable from a manifest seed alone.
+func (c PlanConfig) Derive(nprocs int, seed int64) Plan {
+	// Offset the stream so the injector's per-message flips (seeded below
+	// with the raw seed) are decorrelated from the schedule draws.
+	rng := rand.New(rand.NewSource(seed ^ 0x5FAE1755))
+	plan := Plan{DropProb: c.DropProb, DupProb: c.DupProb, Seed: seed}
+	if n := c.NCrashes; n > 0 && nprocs > 0 {
+		if n > nprocs {
+			n = nprocs
+		}
+		for _, r := range rng.Perm(nprocs)[:n] {
+			at := c.CrashFrom
+			if c.CrashTo > c.CrashFrom {
+				at += rng.Float64() * (c.CrashTo - c.CrashFrom)
+			}
+			plan.Crashes = append(plan.Crashes, Crash{Rank: r, At: at})
+		}
+	}
+	for i := 0; i < c.NEpisodes && nprocs > 0; i++ {
+		from := c.EpisodeFrom
+		if c.EpisodeTo > c.EpisodeFrom {
+			from += rng.Float64() * (c.EpisodeTo - c.EpisodeFrom)
+		}
+		plan.Episodes = append(plan.Episodes, Episode{
+			From:   from,
+			To:     from + c.EpisodeLen,
+			Rank:   rng.Intn(nprocs),
+			Factor: c.EpisodeFactor,
+			Extra:  c.EpisodeExtra,
+		})
+	}
+	return plan
+}
+
+// Injector executes one Plan inside one simulated job. All methods are safe
+// on a nil receiver (a nil injector injects nothing), so the MPI layer can
+// consult it unconditionally. The injector is used only from the currently
+// running simulation process (the simulation is sequential), so it needs no
+// locking.
+type Injector struct {
+	plan    Plan
+	rng     *rand.Rand
+	crashAt map[int]float64
+}
+
+// NewInjector builds an injector for plan. The per-message stream is seeded
+// from plan.Seed.
+func NewInjector(plan Plan) *Injector {
+	in := &Injector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+	if len(plan.Crashes) > 0 {
+		in.crashAt = make(map[int]float64, len(plan.Crashes))
+		for _, c := range plan.Crashes {
+			if t, ok := in.crashAt[c.Rank]; !ok || c.At < t {
+				in.crashAt[c.Rank] = c.At
+			}
+		}
+	}
+	return in
+}
+
+// Plan returns the schedule the injector executes (zero Plan for nil).
+func (in *Injector) Plan() Plan {
+	if in == nil {
+		return Plan{}
+	}
+	return in.plan
+}
+
+// Drop rolls the per-message drop coin. It draws from the injector's stream
+// only when DropProb is positive, so a zero-probability plan perturbs
+// nothing.
+func (in *Injector) Drop() bool {
+	if in == nil || in.plan.DropProb <= 0 {
+		return false
+	}
+	return in.rng.Float64() < in.plan.DropProb
+}
+
+// Duplicate rolls the per-message duplication coin.
+func (in *Injector) Duplicate() bool {
+	if in == nil || in.plan.DupProb <= 0 {
+		return false
+	}
+	return in.rng.Float64() < in.plan.DupProb
+}
+
+// Rng returns the injector's private random stream, used by the MPI layer
+// to sample the duplicate copy's delay without touching the simulation
+// kernel's stream. It must not be called on a nil injector (the MPI layer
+// only samples duplicate delays after Duplicate() returned true).
+func (in *Injector) Rng() *rand.Rand { return in.rng }
+
+// Degrade returns the latency multiplier and additive extra delay in effect
+// for a message sent by rank src at true time now. Overlapping episodes
+// compose.
+func (in *Injector) Degrade(src int, now float64) (factor, extra float64) {
+	factor = 1
+	if in == nil || len(in.plan.Episodes) == 0 {
+		return factor, 0
+	}
+	for _, ep := range in.plan.Episodes {
+		if now < ep.From || now >= ep.To || (ep.Rank != -1 && ep.Rank != src) {
+			continue
+		}
+		f := ep.Factor
+		if f <= 0 {
+			f = 1
+		}
+		factor *= f
+		extra += ep.Extra
+	}
+	return factor, extra
+}
+
+// CrashTime returns the scheduled crash time of rank, or +Inf if the rank
+// never crashes.
+func (in *Injector) CrashTime(rank int) float64 {
+	if in == nil || in.crashAt == nil {
+		return math.Inf(1)
+	}
+	if t, ok := in.crashAt[rank]; ok {
+		return t
+	}
+	return math.Inf(1)
+}
+
+// CrashScheduled reports whether rank has a crash anywhere in the plan —
+// the "oracle failure detector" view used to form survivor communicators.
+func (in *Injector) CrashScheduled(rank int) bool {
+	if in == nil || in.crashAt == nil {
+		return false
+	}
+	_, ok := in.crashAt[rank]
+	return ok
+}
+
+// CrashedAt reports whether rank is dead at true time t.
+func (in *Injector) CrashedAt(rank int, t float64) bool {
+	return t >= in.CrashTime(rank)
+}

@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestDeriveIsDeterministic(t *testing.T) {
+	cfg := PlanConfig{
+		DropProb: 0.1, DupProb: 0.05,
+		NCrashes: 3, CrashFrom: 0.5, CrashTo: 2.5,
+		NEpisodes: 2, EpisodeFrom: 0, EpisodeTo: 1, EpisodeLen: 0.2,
+		EpisodeFactor: 10, EpisodeExtra: 1e-5,
+	}
+	a := cfg.Derive(16, 42)
+	b := cfg.Derive(16, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same inputs, different plans:\n%+v\n%+v", a, b)
+	}
+	c := cfg.Derive(16, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestDeriveRoundTripsThroughJSON(t *testing.T) {
+	cfg := PlanConfig{DropProb: 0.2, NCrashes: 2, CrashFrom: 1, CrashTo: 3, NEpisodes: 1, EpisodeLen: 0.5}
+	plan := cfg.Derive(8, 7)
+	buf, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Plan
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan, back) {
+		t.Fatalf("JSON round trip changed the plan:\n%+v\n%+v", plan, back)
+	}
+}
+
+func TestDeriveCrashBounds(t *testing.T) {
+	cfg := PlanConfig{NCrashes: 5, CrashFrom: 1, CrashTo: 2}
+	plan := cfg.Derive(10, 99)
+	if len(plan.Crashes) != 5 {
+		t.Fatalf("got %d crashes, want 5", len(plan.Crashes))
+	}
+	seen := map[int]bool{}
+	for _, c := range plan.Crashes {
+		if c.Rank < 0 || c.Rank >= 10 {
+			t.Errorf("crash rank %d out of range", c.Rank)
+		}
+		if seen[c.Rank] {
+			t.Errorf("rank %d crashed twice", c.Rank)
+		}
+		seen[c.Rank] = true
+		if c.At < 1 || c.At >= 2 {
+			t.Errorf("crash time %v outside [1,2)", c.At)
+		}
+	}
+	// More crashes than ranks clamps.
+	if got := (PlanConfig{NCrashes: 99}).Derive(4, 1); len(got.Crashes) != 4 {
+		t.Errorf("got %d crashes on 4 ranks, want 4", len(got.Crashes))
+	}
+}
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	if in.Drop() || in.Duplicate() {
+		t.Error("nil injector flipped a coin")
+	}
+	if f, e := in.Degrade(0, 1); f != 1 || e != 0 {
+		t.Errorf("nil injector degrades: factor=%v extra=%v", f, e)
+	}
+	if !math.IsInf(in.CrashTime(3), 1) {
+		t.Error("nil injector schedules crashes")
+	}
+	if in.CrashScheduled(0) || in.CrashedAt(0, 100) {
+		t.Error("nil injector reports crashes")
+	}
+	if !in.Plan().Zero() {
+		t.Error("nil injector has a non-zero plan")
+	}
+}
+
+func TestInjectorDropRate(t *testing.T) {
+	in := NewInjector(Plan{DropProb: 0.3, Seed: 5})
+	drops := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if in.Drop() {
+			drops++
+		}
+	}
+	if rate := float64(drops) / n; rate < 0.25 || rate > 0.35 {
+		t.Errorf("drop rate %v, want ~0.3", rate)
+	}
+	// Zero probability never draws, hence never drops.
+	zero := NewInjector(Plan{Seed: 5})
+	for i := 0; i < 100; i++ {
+		if zero.Drop() || zero.Duplicate() {
+			t.Fatal("zero plan injected a fault")
+		}
+	}
+}
+
+func TestInjectorCrashViews(t *testing.T) {
+	in := NewInjector(Plan{Crashes: []Crash{{Rank: 2, At: 1.5}, {Rank: 0, At: 3}}})
+	if !in.CrashScheduled(2) || !in.CrashScheduled(0) || in.CrashScheduled(1) {
+		t.Error("wrong CrashScheduled view")
+	}
+	if in.CrashedAt(2, 1.4) || !in.CrashedAt(2, 1.5) {
+		t.Error("wrong CrashedAt threshold")
+	}
+	if got := in.CrashTime(0); got != 3 {
+		t.Errorf("CrashTime(0) = %v, want 3", got)
+	}
+}
+
+func TestDegradeComposesEpisodes(t *testing.T) {
+	in := NewInjector(Plan{Episodes: []Episode{
+		{From: 1, To: 2, Rank: -1, Factor: 2},
+		{From: 1.5, To: 3, Rank: 4, Factor: 3, Extra: 1e-6},
+	}})
+	if f, e := in.Degrade(4, 1.6); f != 6 || e != 1e-6 {
+		t.Errorf("overlap: factor=%v extra=%v, want 6, 1e-6", f, e)
+	}
+	if f, _ := in.Degrade(3, 1.6); f != 2 {
+		t.Errorf("rank filter: factor=%v, want 2", f)
+	}
+	if f, e := in.Degrade(4, 5); f != 1 || e != 0 {
+		t.Errorf("outside windows: factor=%v extra=%v", f, e)
+	}
+}

@@ -1,0 +1,258 @@
+package mpi
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"hclocksync/internal/cluster"
+	"hclocksync/internal/faults"
+)
+
+// linkPlans returns the fault environments the collective properties run
+// under: healthy links, and a lossy profile of transient straggler episodes
+// (a slow rank early on, then a machine-wide slowdown window). Episodes
+// delay delivery but never lose or reorder it, which is exactly the fault
+// class blocking collectives must stay correct under; drops and duplicates
+// violate their reliable-link assumption and are exercised against the
+// timeout-aware receivers in faults_test.go instead.
+func linkPlans() []*faults.Injector {
+	straggler := faults.Plan{Episodes: []faults.Episode{
+		{From: 0, To: 0.002, Rank: 1, Factor: 4, Extra: 2e-4},
+		{From: 0.001, To: 0.01, Rank: -1, Factor: 2, Extra: 5e-5},
+	}}
+	return []*faults.Injector{nil, faults.NewInjector(straggler)}
+}
+
+func runColl(t *testing.T, n int, seed int64, inj *faults.Injector, main func(p *Proc)) bool {
+	t.Helper()
+	err := Run(Config{Spec: cluster.TestBox(), NProcs: n, Seed: seed, Faults: inj}, main)
+	if err != nil {
+		t.Logf("n=%d seed=%d: %v", n, seed, err)
+	}
+	return err == nil
+}
+
+// Property: both bcast algorithms deliver the root's exact payload to every
+// rank, for any root and payload, on healthy and straggling links alike.
+func TestBcastVariantsDeliverExactPayloadProperty(t *testing.T) {
+	f := func(seed int64, n8, root8 uint8, payload []byte) bool {
+		n := int(n8%12) + 1
+		root := int(root8) % n
+		if len(payload) > 64 {
+			payload = payload[:64]
+		}
+		ok := true
+		var mu sync.Mutex
+		for _, inj := range linkPlans() {
+			for _, alg := range []BcastAlg{BcastBinomial, BcastLinear} {
+				alg := alg
+				if !runColl(t, n, seed, inj, func(p *Proc) {
+					var data []byte
+					if p.Rank() == root {
+						data = payload
+					}
+					got := p.World().BcastWith(data, root, alg)
+					if !bytes.Equal(got, payload) && len(got)+len(payload) > 0 {
+						mu.Lock()
+						ok = false
+						mu.Unlock()
+					}
+				}) {
+					return false
+				}
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rooted Reduce equals the sequential fold of the per-rank
+// vectors for every op, any root, healthy or straggling links. Inputs are
+// exact quarters so tree-order reassociation costs no precision.
+func TestReduceMatchesSequentialFoldProperty(t *testing.T) {
+	ops := []struct {
+		name string
+		op   Op
+	}{{"sum", OpSum}, {"max", OpMax}, {"min", OpMin}}
+	f := func(seed int64, n8, root8, len8 uint8) bool {
+		n := int(n8%12) + 2
+		root := int(root8) % n
+		vlen := int(len8%6) + 1
+		rng := rand.New(rand.NewSource(seed))
+		inputs := make([][]float64, n)
+		for r := range inputs {
+			inputs[r] = make([]float64, vlen)
+			for i := range inputs[r] {
+				inputs[r][i] = math.Round(rng.Float64()*100) / 4
+			}
+		}
+		ok := true
+		var mu sync.Mutex
+		for _, o := range ops {
+			want := append([]float64(nil), inputs[0]...)
+			for r := 1; r < n; r++ {
+				for i := range want {
+					want[i] = o.op(want[i], inputs[r][i])
+				}
+			}
+			for _, inj := range linkPlans() {
+				op := o.op
+				if !runColl(t, n, seed, inj, func(p *Proc) {
+					got := p.World().Reduce(append([]float64(nil), inputs[p.Rank()]...), op, root)
+					if p.Rank() != root {
+						return
+					}
+					for i := range want {
+						if math.Abs(got[i]-want[i]) > 1e-9 {
+							mu.Lock()
+							ok = false
+							mu.Unlock()
+						}
+					}
+				}) {
+					return false
+				}
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every allreduce algorithm equals the sequential fold under
+// straggling links too (the healthy-link case already has its own
+// property above).
+func TestAllreduceVariantsUnderStragglersProperty(t *testing.T) {
+	f := func(seed int64, n8, len8 uint8) bool {
+		n := int(n8%12) + 2
+		vlen := int(len8%6) + 1
+		rng := rand.New(rand.NewSource(seed))
+		inputs := make([][]float64, n)
+		for r := range inputs {
+			inputs[r] = make([]float64, vlen)
+			for i := range inputs[r] {
+				inputs[r][i] = math.Round(rng.Float64()*100) / 4
+			}
+		}
+		want := append([]float64(nil), inputs[0]...)
+		for r := 1; r < n; r++ {
+			for i := range want {
+				want[i] += inputs[r][i]
+			}
+		}
+		ok := true
+		var mu sync.Mutex
+		for _, alg := range AllreduceAlgs() {
+			alg := alg
+			if !runColl(t, n, seed, linkPlans()[1], func(p *Proc) {
+				got := p.World().AllreduceWith(inputs[p.Rank()], OpSum, alg)
+				for i := range want {
+					if math.Abs(got[i]-want[i]) > 1e-9 {
+						mu.Lock()
+						ok = false
+						mu.Unlock()
+					}
+				}
+			}) {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: both alltoall algorithms realize the transpose — rank r's
+// output slot s is exactly the chunk rank s addressed to r — for random
+// chunk sizes (including empty) and either link profile.
+func TestAlltoallVariantsMatchTransposeProperty(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := int(n8%8) + 2
+		rng := rand.New(rand.NewSource(seed))
+		inputs := make([][][]byte, n) // inputs[src][dst]
+		for src := range inputs {
+			inputs[src] = make([][]byte, n)
+			for dst := range inputs[src] {
+				chunk := make([]byte, rng.Intn(9))
+				rng.Read(chunk)
+				inputs[src][dst] = chunk
+			}
+		}
+		ok := true
+		var mu sync.Mutex
+		for _, inj := range linkPlans() {
+			for _, alg := range AlltoallAlgs() {
+				alg := alg
+				if !runColl(t, n, seed, inj, func(p *Proc) {
+					r := p.Rank()
+					got := p.World().Alltoall(inputs[r], alg)
+					for src := 0; src < n; src++ {
+						if !bytes.Equal(got[src], inputs[src][r]) && len(got[src])+len(inputs[src][r]) > 0 {
+							mu.Lock()
+							ok = false
+							mu.Unlock()
+						}
+					}
+				}) {
+					return false
+				}
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every barrier algorithm is a real barrier — no rank leaves
+// before the last rank has entered — even when a straggler episode slows
+// part of the exchange down.
+func TestBarrierVariantsEnforceEntryBeforeExitProperty(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := int(n8%12) + 2
+		for _, inj := range linkPlans() {
+			for _, alg := range BarrierAlgs() {
+				alg := alg
+				enter := make([]float64, n)
+				exit := make([]float64, n)
+				if !runColl(t, n, seed, inj, func(p *Proc) {
+					r := p.Rank()
+					// Stagger the arrivals so the property has teeth.
+					p.Advance(float64(r%5) * 1e-4)
+					enter[r] = p.TrueNow()
+					p.World().BarrierWith(alg)
+					exit[r] = p.TrueNow()
+				}) {
+					return false
+				}
+				var maxEnter, minExit float64
+				minExit = math.Inf(1)
+				for r := 0; r < n; r++ {
+					maxEnter = math.Max(maxEnter, enter[r])
+					minExit = math.Min(minExit, exit[r])
+				}
+				if minExit < maxEnter {
+					t.Logf("%v n=%d seed=%d: a rank left at %v before the last entered at %v",
+						alg, n, seed, minExit, maxEnter)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -171,3 +171,75 @@ func (c *Comm) checkRoot(root int) {
 		panic(fmt.Sprintf("mpi: root %d out of range (size %d)", root, c.Size()))
 	}
 }
+
+// --- Fault-aware membership views ---
+//
+// These consult the job's fault injector as an *oracle failure detector*:
+// every rank evaluates the same static crash schedule locally, so all
+// members agree on the survivor set without exchanging a byte — the
+// idealized equivalent of a perfect failure detector plus ULFM's
+// MPI_Comm_shrink. Timeouts (RecvTimeout, SendRetry) still matter: the
+// oracle says who will die eventually, but a peer can die mid-exchange.
+
+// DeadNow reports whether comm rank r is crashed at the current true time.
+func (c *Comm) DeadNow(r int) bool {
+	return c.p.world.cfg.Faults.CrashedAt(c.ranks[r], c.p.sp.Now())
+}
+
+// Doomed reports whether comm rank r crashes at any point in the fault
+// schedule.
+func (c *Comm) Doomed(r int) bool {
+	return c.p.world.cfg.Faults.CrashScheduled(c.ranks[r])
+}
+
+// Survivors returns the comm ranks with no scheduled crash, in rank order.
+func (c *Comm) Survivors() []int {
+	var s []int
+	for r := range c.ranks {
+		if !c.Doomed(r) {
+			s = append(s, r)
+		}
+	}
+	return s
+}
+
+// LowestSurvivor returns the smallest comm rank with no scheduled crash, or
+// -1 if every rank is doomed. The fault-tolerant sync re-elects it as the
+// reference when the original reference crashes.
+func (c *Comm) LowestSurvivor() int {
+	for r := range c.ranks {
+		if !c.Doomed(r) {
+			return r
+		}
+	}
+	return -1
+}
+
+// ShrinkSurvivors returns a communicator containing only the survivor ranks
+// (MPI_Comm_shrink under a perfect failure detector). Doomed callers get
+// nil. It is collective in discipline — every member must call it at the
+// same point in its collective sequence — but costs no simulated
+// communication, since the oracle view is identical on all ranks.
+func (c *Comm) ShrinkSurvivors() *Comm {
+	seq := c.collSeq
+	c.collSeq++ // consume a collective slot so later tags stay aligned
+	s := c.Survivors()
+	newRanks := make([]int, len(s))
+	myNew := -1
+	for i, r := range s {
+		newRanks[i] = c.ranks[r]
+		if r == c.rank {
+			myNew = i
+		}
+	}
+	if myNew == -1 {
+		return nil
+	}
+	return &Comm{
+		p: c.p,
+		// Negative seq keys cannot collide with Split's (seq >= 0).
+		id:    c.p.world.commID(c.id, -1-seq, 0),
+		ranks: newRanks,
+		rank:  myNew,
+	}
+}

@@ -54,9 +54,29 @@ func (p *Proc) send(comm, dst, tag, nbytes int, data []byte, ssend bool) {
 	if nbytes < len(data) {
 		nbytes = len(data)
 	}
-	// Sender-side CPU overhead.
+	p.maybeCrash()
+	// Sender-side CPU overhead (crash-clamped: a rank whose crash time
+	// falls inside the overhead never gets the message onto the wire).
 	p.Advance(w.cfg.Spec.SendOverhead)
 	delay := w.machine.Delay(p.rank, dst, nbytes, w.env.Rand())
+	f := w.cfg.Faults
+	dup := false
+	if f != nil {
+		factor, extra := f.Degrade(p.rank, p.sp.Now())
+		delay = delay*factor + extra
+		if f.Drop() {
+			// The message vanishes in the network after the sender paid
+			// its overhead. A dropped synchronous send blocks forever —
+			// no receive can ever match it, just as a real MPI_Ssend
+			// cannot complete — so fault-tolerant code must not Ssend on
+			// lossy links.
+			if ssend {
+				p.sp.Suspend()
+			}
+			return
+		}
+		dup = f.Duplicate()
+	}
 	arrival := p.sp.Now() + delay
 	pk := pairKey{p.rank, dst}
 	if last := w.lastArr[pk]; arrival < last {
@@ -72,6 +92,20 @@ func (p *Proc) send(comm, dst, tag, nbytes int, data []byte, ssend bool) {
 		mb.waiter = nil
 		w.env.Wake(q.sp, arrival)
 	}
+	if dup {
+		// Deliver a second copy with an independently sampled delay. The
+		// draw comes from the injector's private stream so the kernel's
+		// stream is untouched, and the copy is clamped behind the original
+		// to keep delivery non-overtaking. The copy is never synchronous:
+		// only the first match may release an Ssend.
+		d2 := w.machine.Delay(p.rank, dst, nbytes, f.Rng())
+		arr2 := p.sp.Now() + d2
+		if arr2 < w.lastArr[pk] {
+			arr2 = w.lastArr[pk]
+		}
+		w.lastArr[pk] = arr2
+		mb.queue = append(mb.queue, &message{data: data, arrival: arr2, sender: p})
+	}
 	if ssend {
 		// Synchronous send: block until the receive is matched. The
 		// receiver wakes us at match time.
@@ -86,6 +120,7 @@ func (p *Proc) recv(comm, src, tag int) []byte {
 	if src < 0 || src >= len(w.procs) {
 		panic(fmt.Sprintf("mpi: recv from invalid world rank %d", src))
 	}
+	p.maybeCrash()
 	key := mbKey{comm, p.rank, src, tag}
 	mb := w.mailbox(key)
 	for len(mb.queue) == 0 {
@@ -94,11 +129,15 @@ func (p *Proc) recv(comm, src, tag int) []byte {
 		}
 		mb.waiter = p
 		p.sp.Suspend()
+		p.maybeCrash()
 	}
 	msg := mb.queue[0]
 	mb.queue = mb.queue[1:]
 	if msg.arrival > p.sp.Now() {
 		p.sp.WaitUntil(msg.arrival)
+		// Crashing here leaves a matched synchronous sender suspended
+		// forever — the realistic outcome of the receiver dying mid-match.
+		p.maybeCrash()
 	}
 	p.Advance(w.cfg.Spec.RecvOverhead)
 	if msg.ssend {
@@ -106,6 +145,61 @@ func (p *Proc) recv(comm, src, tag int) []byte {
 		w.env.Wake(msg.sender.sp, p.sp.Now())
 	}
 	return msg.data
+}
+
+// recvTimeout waits at most timeout seconds of true time for a matching
+// message. ok=false means the deadline passed without a deliverable message;
+// a message still in flight past the deadline stays queued for a future
+// receive on the same (src, tag).
+func (p *Proc) recvTimeout(comm, src, tag int, timeout float64) ([]byte, bool) {
+	w := p.world
+	if src < 0 || src >= len(w.procs) {
+		panic(fmt.Sprintf("mpi: recv from invalid world rank %d", src))
+	}
+	p.maybeCrash()
+	deadline := p.sp.Now() + timeout
+	key := mbKey{comm, p.rank, src, tag}
+	mb := w.mailbox(key)
+	for {
+		if len(mb.queue) > 0 {
+			msg := mb.queue[0]
+			if msg.arrival > deadline {
+				// Queue arrivals are nondecreasing (non-overtaking), so no
+				// queued message can make the deadline: wait it out.
+				if deadline > p.sp.Now() {
+					p.sp.WaitUntil(deadline)
+				}
+				p.maybeCrash()
+				return nil, false
+			}
+			mb.queue = mb.queue[1:]
+			if msg.arrival > p.sp.Now() {
+				p.sp.WaitUntil(msg.arrival)
+				p.maybeCrash()
+			}
+			p.Advance(w.cfg.Spec.RecvOverhead)
+			if msg.ssend {
+				w.env.Wake(msg.sender.sp, p.sp.Now())
+			}
+			return msg.data, true
+		}
+		if p.sp.Now() >= deadline {
+			return nil, false
+		}
+		if mb.waiter != nil {
+			panic("mpi: two concurrent receives on one rank")
+		}
+		mb.waiter = p
+		// Sleep until the deadline; a sender waking us first cancels the
+		// deadline event (see sim.Proc.WaitUntil) and we loop to drain the
+		// queue.
+		p.sp.WaitUntil(deadline)
+		if mb.waiter == p {
+			// The deadline fired before any sender matched: withdraw.
+			mb.waiter = nil
+		}
+		p.maybeCrash()
+	}
 }
 
 // --- Comm-level typed helpers ---
@@ -132,6 +226,25 @@ func (c *Comm) Ssend(dst, tag int, payload []byte) {
 // arrives and returns its payload.
 func (c *Comm) Recv(src, tag int) []byte {
 	return c.p.recv(c.id, c.ranks[src], tag)
+}
+
+// RecvTimeout waits at most timeout seconds for the message from comm rank
+// src with the given tag. ok=false means the deadline passed; a copy still
+// in flight stays queued for a later receive on the same (src, tag).
+func (c *Comm) RecvTimeout(src, tag int, timeout float64) (data []byte, ok bool) {
+	return c.p.recvTimeout(c.id, c.ranks[src], tag, timeout)
+}
+
+// RecvF64Timeout is the timed variant of RecvF64.
+func (c *Comm) RecvF64Timeout(src, tag int, timeout float64) (v float64, ok bool) {
+	b, ok := c.RecvTimeout(src, tag, timeout)
+	if !ok {
+		return 0, false
+	}
+	if len(b) != 8 {
+		panic(fmt.Sprintf("mpi: RecvF64Timeout got %d bytes", len(b)))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), true
 }
 
 // SendF64 sends one float64 (8 B on the wire), the workhorse of the clock

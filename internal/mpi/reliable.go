@@ -1,0 +1,67 @@
+package mpi
+
+// Reliable point-to-point: bounded retransmission with backoff over a lossy
+// (fault-injected) network. Data travels on tag, acknowledgements on tag+1,
+// so callers must reserve both tags and use a fresh tag pair per logical
+// message — a stale retransmit of an earlier message would otherwise match a
+// later receive.
+
+// RetryOpts bounds one reliable exchange. The zero value picks defaults.
+type RetryOpts struct {
+	// Attempts is the maximum number of transmissions (default 3).
+	Attempts int
+	// Timeout is the wait for the ack (sender side) or the data (receiver
+	// side) after the first attempt, in seconds (default 1 ms).
+	Timeout float64
+	// Backoff multiplies the timeout after each failed attempt (default 2).
+	Backoff float64
+}
+
+func (o RetryOpts) withDefaults() RetryOpts {
+	if o.Attempts <= 0 {
+		o.Attempts = 3
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 1e-3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 2
+	}
+	return o
+}
+
+// SendRetry sends payload to comm rank dst, retransmitting up to o.Attempts
+// times until an acknowledgement arrives. It returns true once acked. False
+// means no ack made it back — the payload may or may not have been delivered
+// (the two-generals limit); callers should treat the peer as unresponsive
+// rather than assume the message was lost.
+func (c *Comm) SendRetry(dst, tag int, payload []byte, o RetryOpts) bool {
+	o = o.withDefaults()
+	to := o.Timeout
+	for a := 0; a < o.Attempts; a++ {
+		c.Send(dst, tag, payload)
+		if _, ok := c.RecvTimeout(dst, tag+1, to); ok {
+			return true
+		}
+		to *= o.Backoff
+	}
+	return false
+}
+
+// RecvRetry waits for the message from comm rank src, acknowledging the
+// first copy that arrives; retransmitted duplicates stay queued and must be
+// avoided by using fresh tags per message. Its patience mirrors SendRetry's
+// backoff schedule so a matched sender/receiver pair stays in step. ok=false
+// after the full budget means the sender never got through.
+func (c *Comm) RecvRetry(src, tag int, o RetryOpts) (data []byte, ok bool) {
+	o = o.withDefaults()
+	to := o.Timeout
+	for a := 0; a < o.Attempts; a++ {
+		if b, ok := c.RecvTimeout(src, tag, to); ok {
+			c.Send(src, tag+1, []byte{1})
+			return b, true
+		}
+		to *= o.Backoff
+	}
+	return nil, false
+}

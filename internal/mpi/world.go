@@ -26,6 +26,7 @@ import (
 	"math/rand"
 
 	"hclocksync/internal/cluster"
+	"hclocksync/internal/faults"
 	"hclocksync/internal/sim"
 )
 
@@ -42,6 +43,11 @@ type Config struct {
 	Barrier   BarrierAlg
 	Allreduce AllreduceAlg
 	Bcast     BcastAlg
+	// Faults optionally injects message and rank faults into the job. A
+	// nil injector (the default) leaves the job byte-identical to a build
+	// without fault support: the fault hooks draw no random numbers and
+	// change no timings unless the injector actually fires.
+	Faults *faults.Injector
 }
 
 // World is the shared state of a simulated MPI job.
@@ -136,15 +142,44 @@ func (p *Proc) Location() cluster.Location { return p.world.machine.Location(p.r
 func (p *Proc) TrueNow() float64 { return p.sp.Now() }
 
 // Advance consumes d seconds of this rank's (virtual) CPU time. It models
-// local computation.
+// local computation. If the rank's scheduled crash time falls inside the
+// interval, the rank advances to the crash time and halts there.
 func (p *Proc) Advance(d float64) {
-	if d > 0 {
-		p.sp.Sleep(d)
+	if d <= 0 {
+		return
+	}
+	if ct := p.world.cfg.Faults.CrashTime(p.rank); p.sp.Now()+d >= ct {
+		if ct > p.sp.Now() {
+			p.sp.WaitUntil(ct)
+		}
+		p.sp.Exit()
+	}
+	p.sp.Sleep(d)
+}
+
+// WaitUntilTrue blocks the rank until true simulation time t (or until its
+// scheduled crash time, whichever comes first).
+func (p *Proc) WaitUntilTrue(t float64) {
+	if ct := p.world.cfg.Faults.CrashTime(p.rank); t >= ct {
+		if ct > p.sp.Now() {
+			p.sp.WaitUntil(ct)
+		}
+		p.sp.Exit()
+	}
+	p.sp.WaitUntil(t)
+}
+
+// maybeCrash crash-stops the rank if its scheduled crash time has passed.
+// The MPI layer calls it at communication entry points and after blocking
+// resumes, so a doomed rank cannot keep communicating past its crash time.
+func (p *Proc) maybeCrash() {
+	if p.sp.Now() >= p.world.cfg.Faults.CrashTime(p.rank) {
+		p.sp.Exit()
 	}
 }
 
-// WaitUntilTrue blocks the rank until true simulation time t.
-func (p *Proc) WaitUntilTrue(t float64) { p.sp.WaitUntil(t) }
+// Faults returns the job's fault injector (nil when faults are disabled).
+func (p *Proc) Faults() *faults.Injector { return p.world.cfg.Faults }
 
 // HWClock returns the hardware clock this rank reads under the job's
 // configured clock source.

@@ -19,6 +19,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
 )
 
 // Env is the simulation kernel. Create one with NewEnv, add processes with
@@ -61,6 +63,12 @@ type Proc struct {
 	// suspended reports that the process is parked with no scheduled wake
 	// event; some other process must Wake it.
 	suspended bool
+	// gen counts resumes. Events capture the value at scheduling time; an
+	// event whose generation is stale (the process was resumed by a
+	// different event in the meantime) is discarded instead of delivered.
+	// This is what lets a process wait on "a message arrival OR a timeout"
+	// without the losing event firing spuriously later.
+	gen int64
 	// Ctx is an arbitrary per-process value for higher layers (e.g. the
 	// MPI rank state). The sim kernel never touches it.
 	Ctx any
@@ -109,34 +117,50 @@ func (e *Env) schedule(t float64, p *Proc) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{t: t, seq: e.seq, p: p})
+	heap.Push(&e.events, &event{t: t, seq: e.seq, p: p, gen: p.gen})
+}
+
+// DeadlockError is returned by Run when the event queue drains while
+// processes are still blocked: every remaining process is suspended with no
+// scheduled wake-up, so virtual time can never advance again. Stuck lists
+// the blocked processes' IDs in ascending order.
+type DeadlockError struct {
+	Time  float64 // virtual time at which the simulation stalled
+	Stuck []int   // IDs of the processes still blocked
+	Total int     // total number of processes spawned
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock: %d of %d processes still blocked at t=%g (stuck procs %v)",
+		len(e.Stuck), e.Total, e.Time, e.Stuck)
 }
 
 // Run executes the simulation until no events remain or a process panics.
-// It returns an error if a process panicked or if processes are still
-// suspended when the event queue drains (a deadlock).
+// It returns an error if a process panicked, or a *DeadlockError naming the
+// stuck processes if some are still suspended when the event queue drains.
 func (e *Env) Run() error {
 	for e.events.Len() > 0 {
 		ev := heap.Pop(&e.events).(*event)
-		if ev.p.done {
+		if ev.p.done || ev.gen != ev.p.gen {
 			continue
 		}
 		e.now = ev.t
+		ev.p.gen++ // invalidate any other pending wake-ups for this process
 		ev.p.resume <- struct{}{}
 		<-ev.p.yield
 		if e.failure != nil {
 			return fmt.Errorf("sim: process %d panicked: %v", e.failed.id, e.failure)
 		}
 	}
-	var stuck int
+	var stuck []int
 	for _, p := range e.procs {
 		if !p.done {
-			stuck++
+			stuck = append(stuck, p.id)
 		}
 	}
-	if stuck > 0 {
-		return fmt.Errorf("sim: deadlock: %d of %d processes still blocked at t=%g",
-			stuck, len(e.procs), e.now)
+	if len(stuck) > 0 {
+		sort.Ints(stuck)
+		return &DeadlockError{Time: e.now, Stuck: stuck, Total: len(e.procs)}
 	}
 	return nil
 }
@@ -148,10 +172,22 @@ func (p *Proc) block() {
 }
 
 // WaitUntil blocks the calling process until virtual time t. Times in the
-// past resume immediately (at the current time).
+// past resume immediately (at the current time). If another process Wakes
+// this one first, WaitUntil returns early at the wake time and the original
+// wake-up at t is cancelled — the "sleep until t or until poked" primitive
+// the MPI layer's timed receive is built on.
 func (p *Proc) WaitUntil(t float64) {
 	p.env.schedule(t, p)
 	p.block()
+}
+
+// Exit terminates the calling process immediately, as a crash-stop fault
+// would: deferred functions run, the process is marked done, and control
+// returns to the kernel. Messages it already sent stay in flight; processes
+// waiting on it block forever unless they use timeouts (Run then reports a
+// DeadlockError).
+func (p *Proc) Exit() {
+	runtime.Goexit()
 }
 
 // Sleep blocks the calling process for d seconds.
@@ -181,6 +217,7 @@ type event struct {
 	t   float64
 	seq int64
 	p   *Proc
+	gen int64
 }
 
 type eventHeap []*event

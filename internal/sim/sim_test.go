@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"errors"
 	"math/rand"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -253,5 +255,80 @@ func TestWakeOnFinishedProcIsHarmless(t *testing.T) {
 	}
 	if env.Now() != 7 {
 		t.Errorf("final time = %v, want 7", env.Now())
+	}
+}
+
+func TestDeadlockErrorNamesStuckProcs(t *testing.T) {
+	env := NewEnv(1)
+	env.Spawn(func(p *Proc) { p.Sleep(1) }) // finishes
+	env.Spawn(func(p *Proc) { p.Suspend() })
+	env.Spawn(func(p *Proc) { p.Suspend() })
+	err := env.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("want *DeadlockError, got %T: %v", err, err)
+	}
+	if want := []int{1, 2}; !reflect.DeepEqual(dl.Stuck, want) {
+		t.Errorf("stuck = %v, want %v", dl.Stuck, want)
+	}
+	if dl.Total != 3 {
+		t.Errorf("total = %d, want 3", dl.Total)
+	}
+}
+
+func TestWakeCancelsPendingWaitUntil(t *testing.T) {
+	// A process sleeping until t=5 is woken at t=1; the stale t=5 event must
+	// not fire into its next sleep, which should end at 1+10=11.
+	env := NewEnv(1)
+	var early, late float64
+	sleeper := env.Spawn(func(p *Proc) {
+		p.WaitUntil(5)
+		early = p.Now()
+		p.Sleep(10)
+		late = p.Now()
+	})
+	env.Spawn(func(p *Proc) {
+		p.Env().Wake(sleeper, 1)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if early != 1 {
+		t.Errorf("woken at %v, want 1", early)
+	}
+	if late != 11 {
+		t.Errorf("second sleep ended at %v, want 11 (stale event fired)", late)
+	}
+}
+
+func TestExitTerminatesProcess(t *testing.T) {
+	env := NewEnv(1)
+	var after bool
+	var deferred bool
+	p1 := env.Spawn(func(p *Proc) {
+		defer func() { deferred = true }()
+		p.Sleep(1)
+		p.Exit()
+		after = true // unreachable
+	})
+	var otherDone float64
+	env.Spawn(func(p *Proc) {
+		p.Sleep(3)
+		otherDone = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if after {
+		t.Error("code after Exit ran")
+	}
+	if !deferred {
+		t.Error("deferred function did not run on Exit")
+	}
+	if !p1.Done() {
+		t.Error("exited process not marked done")
+	}
+	if otherDone != 3 {
+		t.Errorf("other process ended at %v, want 3", otherDone)
 	}
 }
