@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz check clean
+# The substrate micro-benchmarks: the sim kernel + MPI messaging building
+# blocks every experiment bottoms out in. `make bench` tracks them in
+# BENCH_sim.json, the perf trajectory future PRs regress against.
+SUBSTRATE_BENCH = BenchmarkSim|BenchmarkHCA3Sync|BenchmarkLinearFit
+
+.PHONY: all build vet test race fuzz check clean bench bench-smoke
 
 all: check
 
@@ -25,6 +30,18 @@ fuzz:
 	$(GO) test ./internal/clocksync -run '^$$' -fuzz FuzzFitOffsetSamples -fuzztime 10s
 
 check: build vet test race
+
+# Full substrate bench sweep with allocation stats; writes BENCH_sim.json.
+# Compare two runs with scripts/benchdiff.sh.
+bench:
+	$(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCH)' -benchmem -benchtime 1s . \
+		| tee /dev/stderr | $(GO) run ./cmd/bench2json -o BENCH_sim.json
+
+# One-iteration smoke variant for CI: exercises every substrate bench and
+# still emits the BENCH_sim.json artifact, in seconds not minutes.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCH)' -benchmem -benchtime 1x . \
+		| tee /dev/stderr | $(GO) run ./cmd/bench2json -o BENCH_sim.json
 
 clean:
 	rm -rf .expcache

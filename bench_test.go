@@ -206,6 +206,7 @@ func BenchmarkSimBarrierAlgorithms(b *testing.B) {
 	for _, alg := range mpi.BarrierAlgs() {
 		alg := alg
 		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			runBench(b, 16, func(p *mpi.Proc) {
 				for i := 0; i < b.N; i++ {
 					p.World().BarrierWith(alg)
@@ -219,6 +220,7 @@ func BenchmarkSimAllreduceAlgorithms(b *testing.B) {
 	for _, alg := range mpi.AllreduceAlgs() {
 		alg := alg
 		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			runBench(b, 16, func(p *mpi.Proc) {
 				for i := 0; i < b.N; i++ {
 					p.World().AllreduceWith([]float64{1}, mpi.OpSum, alg)
@@ -229,6 +231,7 @@ func BenchmarkSimAllreduceAlgorithms(b *testing.B) {
 }
 
 func BenchmarkHCA3Sync(b *testing.B) {
+	b.ReportAllocs()
 	params := clocksync.Params{NFitpoints: 20, Offset: clocksync.SKaMPIOffset{NExchanges: 5}}
 	for i := 0; i < b.N; i++ {
 		if err := mpi.Run(mpi.Config{Spec: cluster.TestBox(), NProcs: 16, Seed: int64(i)},
@@ -247,6 +250,7 @@ func BenchmarkLinearFit(b *testing.B) {
 		xs[i] = 4e4 + float64(i)*1e-3
 		ys[i] = 1.5e-6*xs[i] - 0.25
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var r stats.LinReg
 	for i := 0; i < b.N; i++ {
@@ -311,6 +315,7 @@ func BenchmarkSimAlltoallAlgorithms(b *testing.B) {
 	for _, alg := range mpi.AlltoallAlgs() {
 		alg := alg
 		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			runBench(b, 16, func(p *mpi.Proc) {
 				chunks := make([][]byte, 16)
 				for i := range chunks {

@@ -1,0 +1,112 @@
+// Command bench2json converts `go test -bench` output on stdin into a
+// machine-readable JSON trajectory file, so every benchmark run leaves a
+// comparable artifact (BENCH_sim.json) instead of a transient terminal
+// table.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkSim -benchmem . | bench2json -o BENCH_sim.json
+//
+// Every benchmark line is parsed into its name, the GOMAXPROCS suffix, the
+// iteration count, and all (value, unit) metric pairs — ns/op, B/op,
+// allocs/op, and any custom b.ReportMetric units. Context lines (goos,
+// goarch, pkg, cpu) are carried through. Non-benchmark lines are ignored,
+// so the tool can sit at the end of any `go test -bench` pipeline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	// Name is the benchmark name without the -GOMAXPROCS suffix, the
+	// stable key future runs are compared under.
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Tool       string            `json:"tool"`
+	Context    map[string]string `json:"context"`
+	Benchmarks []benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sim.json", "output file (\"-\" for stdout)")
+	flag.Parse()
+
+	rep := report{Tool: "bench2json", Context: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				rep.Context[key] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := benchmark{Name: fields[0], Procs: 1, Iterations: iters, Metrics: map[string]float64{}}
+		if i := strings.LastIndex(b.Name, "-"); i >= 0 {
+			if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+				b.Name, b.Procs = b.Name[:i], p
+			}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fail(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	sort.SliceStable(rep.Benchmarks, func(i, j int) bool {
+		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
+	})
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench2json: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bench2json:", err)
+	os.Exit(1)
+}

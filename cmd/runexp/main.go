@@ -6,6 +6,7 @@
 //
 //	runexp -suite NAME[,NAME...]|all [-scale default|tiny] [-jobs N]
 //	       [-cache DIR] [-outdir DIR] [-seed S] [-quiet]
+//	       [-cpuprofile FILE] [-memprofile FILE]
 //	runexp -list
 //
 // Each suite's simulations are fanned out across -jobs workers; for a fixed
@@ -14,6 +15,13 @@
 // an interrupted or repeated invocation re-simulates only what is missing —
 // that is the resume story: kill runexp at any point and run the same
 // command line again, and completed work is served from disk.
+//
+// With -cpuprofile / -memprofile, pprof profiles of the whole run are
+// written on exit (the memory profile after a final GC), so profiling the
+// simulation substrate under any workload is one flag away:
+//
+//	runexp -suite fig7 -scale tiny -cache "" -cpuprofile cpu.prof
+//	go tool pprof -top cpu.prof
 //
 // With -outdir, every suite's output is written to DIR/<suite>.txt and the
 // run's manifest — every task's config, derived seed, wall time, and
@@ -28,6 +36,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -168,7 +177,36 @@ func main() {
 	seed := flag.Int64("seed", 0, "override every suite's base seed")
 	list := flag.Bool("list", false, "list available suites and exit")
 	quiet := flag.Bool("quiet", false, "suppress progress lines on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (after a final GC) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	reg := registry()
 	if *list {

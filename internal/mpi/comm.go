@@ -15,8 +15,8 @@ type Comm struct {
 	rank  int
 	// collSeq numbers this rank's collective calls on the communicator.
 	// MPI requires all members to issue collectives in the same order, so
-	// the counter agrees across members and makes collective message tags
-	// unambiguous even when ranks run ahead of one another.
+	// the counter agrees across members; Split and ShrinkSurvivors key the
+	// derived communicator's identity on it.
 	collSeq int
 }
 
@@ -46,12 +46,19 @@ const (
 	numKinds
 )
 
-// nextTag reserves a fresh internal tag for one collective operation. User
-// tags must be non-negative; internal tags are negative.
+// nextTag advances the collective sequence and returns the internal tag
+// for one collective operation. User tags must be non-negative; internal
+// tags are negative. The tag is static per collective kind — as in Open
+// MPI's coll base tags — because exact (comm, src, dst, tag) matching plus
+// non-overtaking delivery already pairs successive collectives' messages
+// in order on every directed channel: all members issue collectives in the
+// same order, so the k-th send on a channel always meets the k-th receive.
+// Static tags keep the mailbox set bounded, which is what lets the
+// messaging layer recycle mailboxes instead of allocating a fresh queue
+// per collective call.
 func (c *Comm) nextTag(kind int) int {
-	seq := c.collSeq
 	c.collSeq++
-	return -(1 + kind + numKinds*seq)
+	return -(1 + kind)
 }
 
 // ColorUndefined makes Split return a nil communicator for the caller

@@ -12,6 +12,14 @@ import (
 // algorithms in this repository never need wildcards. Delivery is
 // non-overtaking per (source, destination) ordered pair: a message sent
 // later never arrives earlier, as MPI guarantees for matching receives.
+//
+// The steady-state send/recv path is allocation-free: message structs are
+// recycled through a per-World free list, mailbox queues are ring buffers
+// whose popped slots are nilled (so neither the backing array nor the
+// sender *Proc is pinned), repeated exchanges on one (comm, peer, tag)
+// triple hit a per-rank single-entry mailbox cache instead of the map, and
+// single-float64 payloads — the workhorse of the clock-offset algorithms —
+// travel inside the message struct with no byte-slice encode at all.
 
 type mbKey struct {
 	comm, dst, src, tag int
@@ -19,16 +27,116 @@ type mbKey struct {
 
 type pairKey struct{ src, dst int }
 
+// msgKind says where a message's payload lives.
+type msgKind uint8
+
+const (
+	// msgBytes: payload is the data slice, owned by the sender's caller.
+	msgBytes msgKind = iota
+	// msgF64: payload is a single float64 in v; no byte slice exists.
+	msgF64
+	// msgF64s: payload is the fv slice, owned by the World's float pool
+	// and released when the receiver decodes it.
+	msgF64s
+)
+
 type message struct {
 	data    []byte
+	fv      []float64
+	v       float64
 	arrival float64
+	kind    msgKind
 	ssend   bool
 	sender  *Proc
 }
 
+// newMsg takes a recycled message off the free list, or allocates the
+// pool's next entry.
+func (w *World) newMsg() *message {
+	if n := len(w.msgFree); n > 0 {
+		m := w.msgFree[n-1]
+		w.msgFree[n-1] = nil
+		w.msgFree = w.msgFree[:n-1]
+		return m
+	}
+	return &message{}
+}
+
+// freeMsg zeroes m (dropping its payload and sender references) and
+// returns it to the free list. Callers must extract or release pooled
+// payloads (fv) first.
+func (w *World) freeMsg(m *message) {
+	*m = message{}
+	w.msgFree = append(w.msgFree, m)
+}
+
+// getF64s returns a pooled []float64 of length n.
+func (w *World) getF64s(n int) []float64 {
+	if k := len(w.f64Free); k > 0 {
+		s := w.f64Free[k-1]
+		w.f64Free[k-1] = nil
+		w.f64Free = w.f64Free[:k-1]
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// putF64s returns a slice obtained from getF64s to the pool.
+func (w *World) putF64s(s []float64) {
+	w.f64Free = append(w.f64Free, s)
+}
+
+// bytes materializes a message's payload as a byte slice (allocating for
+// the non-bytes kinds, which only happens when a typed send meets an
+// untyped Recv) and releases any pooled payload.
+func (w *World) bytes(m *message) []byte {
+	switch m.kind {
+	case msgF64:
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, math.Float64bits(m.v))
+		return b
+	case msgF64s:
+		b := EncodeF64s(m.fv)
+		w.putF64s(m.fv)
+		m.fv = nil
+		return b
+	default:
+		return m.data
+	}
+}
+
+// mailbox is one (comm, dst, src, tag) queue: a ring buffer of in-flight
+// messages plus the at-most-one blocked receiver (the destination rank).
 type mailbox struct {
-	queue  []*message
-	waiter *Proc // at most one: the destination rank itself
+	buf    []*message
+	head   int
+	n      int
+	waiter *Proc
+}
+
+func (mb *mailbox) push(m *message) {
+	if mb.n == len(mb.buf) {
+		grown := make([]*message, max(4, 2*len(mb.buf)))
+		for i := 0; i < mb.n; i++ {
+			grown[i] = mb.buf[(mb.head+i)%len(mb.buf)]
+		}
+		mb.buf = grown
+		mb.head = 0
+	}
+	mb.buf[(mb.head+mb.n)%len(mb.buf)] = m
+	mb.n++
+}
+
+func (mb *mailbox) front() *message { return mb.buf[mb.head] }
+
+func (mb *mailbox) pop() *message {
+	m := mb.buf[mb.head]
+	mb.buf[mb.head] = nil // do not pin the message past its delivery
+	mb.head = (mb.head + 1) % len(mb.buf)
+	mb.n--
+	return m
 }
 
 func (w *World) mailbox(k mbKey) *mailbox {
@@ -40,10 +148,108 @@ func (w *World) mailbox(k mbKey) *mailbox {
 	return mb
 }
 
-// send implements both standard (eager) and synchronous sends on world
-// ranks. nbytes is the wire size; data is the payload content (may be
+// sendMB resolves the sender-side mailbox for (comm, dst, tag) through the
+// rank's single-entry cache; ping-pong style exchanges (JK offset, SKaMPI)
+// hit the cache on every iteration after the first.
+func (p *Proc) sendMB(k mbKey) *mailbox {
+	if p.sendCache.mb != nil && p.sendCache.key == k {
+		return p.sendCache.mb
+	}
+	mb := p.world.mailbox(k)
+	p.sendCache = mbCacheEntry{key: k, mb: mb}
+	return mb
+}
+
+// recvMB is the receiver-side counterpart of sendMB.
+func (p *Proc) recvMB(k mbKey) *mailbox {
+	if p.recvCache.mb != nil && p.recvCache.key == k {
+		return p.recvCache.mb
+	}
+	mb := p.world.mailbox(k)
+	p.recvCache = mbCacheEntry{key: k, mb: mb}
+	return mb
+}
+
+// arrClamp returns the non-overtaking clamp cell for messages from p to
+// dst, cached per rank: a rank's consecutive sends overwhelmingly target
+// the same peer.
+func (p *Proc) arrClamp(dst int) *float64 {
+	if p.lastDst == dst && p.lastArrP != nil {
+		return p.lastArrP
+	}
+	pk := pairKey{p.rank, dst}
+	cell := p.world.lastArr[pk]
+	if cell == nil {
+		cell = new(float64)
+		p.world.lastArr[pk] = cell
+	}
+	p.lastDst, p.lastArrP = dst, cell
+	return cell
+}
+
+// send implements standard (eager) and synchronous sends of a byte
+// payload. nbytes is the wire size; data is the payload content (may be
 // shorter than nbytes — benchmarking messages are mostly padding).
 func (p *Proc) send(comm, dst, tag, nbytes int, data []byte, ssend bool) {
+	if nbytes < len(data) {
+		nbytes = len(data)
+	}
+	m := p.sendCommon(dst, nbytes)
+	if m == nil {
+		if ssend {
+			p.sp.Suspend() // dropped Ssend can never complete
+		}
+		return
+	}
+	m.kind = msgBytes
+	m.data = data
+	m.ssend = ssend
+	p.deliver(comm, dst, tag, nbytes, m)
+	if ssend {
+		p.sp.Suspend() // the receiver wakes us at match time
+	}
+}
+
+// sendF64 sends one float64 carried inside the message struct: no encode,
+// no allocation.
+func (p *Proc) sendF64(comm, dst, tag int, v float64, ssend bool) {
+	m := p.sendCommon(dst, 8)
+	if m == nil {
+		if ssend {
+			p.sp.Suspend()
+		}
+		return
+	}
+	m.kind = msgF64
+	m.v = v
+	m.ssend = ssend
+	p.deliver(comm, dst, tag, 8, m)
+	if ssend {
+		p.sp.Suspend()
+	}
+}
+
+// sendF64s sends a float64 vector in a pooled slice; the receive side
+// (recvF64sInto) releases it. Collectives use this pair to keep their
+// per-step exchanges off the heap.
+func (p *Proc) sendF64s(comm, dst, tag, nbytes int, vals []float64) {
+	if nbytes < 8*len(vals) {
+		nbytes = 8 * len(vals)
+	}
+	m := p.sendCommon(dst, nbytes)
+	if m == nil {
+		return
+	}
+	m.kind = msgF64s
+	m.fv = append(p.world.getF64s(0)[:0], vals...)
+	p.deliver(comm, dst, tag, nbytes, m)
+}
+
+// sendCommon runs the shared front half of every send: validation, crash
+// checks, the sender overhead, and the delay + fault draws. It returns a
+// pooled message with arrival set, or nil if the network dropped the
+// message. The RNG draw order here is an observable determinism contract.
+func (p *Proc) sendCommon(dst, nbytes int) *message {
 	w := p.world
 	if dst < 0 || dst >= len(w.procs) {
 		panic(fmt.Sprintf("mpi: send to invalid world rank %d", dst))
@@ -51,17 +257,12 @@ func (p *Proc) send(comm, dst, tag, nbytes int, data []byte, ssend bool) {
 	if dst == p.rank {
 		panic("mpi: send-to-self is not supported; collectives avoid it")
 	}
-	if nbytes < len(data) {
-		nbytes = len(data)
-	}
 	p.maybeCrash()
 	// Sender-side CPU overhead (crash-clamped: a rank whose crash time
 	// falls inside the overhead never gets the message onto the wire).
 	p.Advance(w.cfg.Spec.SendOverhead)
 	delay := w.machine.Delay(p.rank, dst, nbytes, w.env.Rand())
-	f := w.cfg.Faults
-	dup := false
-	if f != nil {
+	if f := w.cfg.Faults; f != nil {
 		factor, extra := f.Degrade(p.rank, p.sp.Now())
 		delay = delay*factor + extra
 		if f.Drop() {
@@ -70,60 +271,72 @@ func (p *Proc) send(comm, dst, tag, nbytes int, data []byte, ssend bool) {
 			// no receive can ever match it, just as a real MPI_Ssend
 			// cannot complete — so fault-tolerant code must not Ssend on
 			// lossy links.
-			if ssend {
-				p.sp.Suspend()
-			}
-			return
+			return nil
 		}
-		dup = f.Duplicate()
 	}
 	arrival := p.sp.Now() + delay
-	pk := pairKey{p.rank, dst}
-	if last := w.lastArr[pk]; arrival < last {
-		arrival = last
+	clamp := p.arrClamp(dst)
+	if arrival < *clamp {
+		arrival = *clamp
 	}
-	w.lastArr[pk] = arrival
+	*clamp = arrival
+	m := w.newMsg()
+	m.arrival = arrival
+	m.sender = p
+	return m
+}
 
-	msg := &message{data: data, arrival: arrival, ssend: ssend, sender: p}
-	mb := w.mailbox(mbKey{comm, dst, p.rank, tag})
-	mb.queue = append(mb.queue, msg)
+// deliver enqueues m, wakes a blocked receiver, and emits the duplicate
+// copy when the fault injector asks for one.
+func (p *Proc) deliver(comm, dst, tag, nbytes int, m *message) {
+	w := p.world
+	mb := p.sendMB(mbKey{comm, dst, p.rank, tag})
+	mb.push(m)
 	if mb.waiter != nil {
 		q := mb.waiter
 		mb.waiter = nil
-		w.env.Wake(q.sp, arrival)
+		w.env.Wake(q.sp, m.arrival)
 	}
-	if dup {
+	if f := w.cfg.Faults; f != nil && f.Duplicate() {
 		// Deliver a second copy with an independently sampled delay. The
 		// draw comes from the injector's private stream so the kernel's
 		// stream is untouched, and the copy is clamped behind the original
 		// to keep delivery non-overtaking. The copy is never synchronous:
-		// only the first match may release an Ssend.
+		// only the first match may release an Ssend. Pooled payloads are
+		// re-materialized so the two copies never share a pooled slice.
 		d2 := w.machine.Delay(p.rank, dst, nbytes, f.Rng())
 		arr2 := p.sp.Now() + d2
-		if arr2 < w.lastArr[pk] {
-			arr2 = w.lastArr[pk]
+		clamp := p.arrClamp(dst)
+		if arr2 < *clamp {
+			arr2 = *clamp
 		}
-		w.lastArr[pk] = arr2
-		mb.queue = append(mb.queue, &message{data: data, arrival: arr2, sender: p})
-	}
-	if ssend {
-		// Synchronous send: block until the receive is matched. The
-		// receiver wakes us at match time.
-		p.sp.Suspend()
+		*clamp = arr2
+		dup := w.newMsg()
+		dup.arrival = arr2
+		dup.sender = p
+		dup.kind = m.kind
+		dup.v = m.v
+		switch m.kind {
+		case msgBytes:
+			dup.data = m.data
+		case msgF64s:
+			dup.fv = append(w.getF64s(0)[:0], m.fv...)
+		}
+		mb.push(dup)
 	}
 }
 
-// recv blocks until a matching message has arrived and been taken off the
-// queue, charges the receive overhead, and returns the payload.
-func (p *Proc) recv(comm, src, tag int) []byte {
+// recvMsg blocks until a matching message has arrived and been taken off
+// the queue, charges the receive overhead, and returns the message. The
+// caller extracts the payload and frees the message.
+func (p *Proc) recvMsg(comm, src, tag int) *message {
 	w := p.world
 	if src < 0 || src >= len(w.procs) {
 		panic(fmt.Sprintf("mpi: recv from invalid world rank %d", src))
 	}
 	p.maybeCrash()
-	key := mbKey{comm, p.rank, src, tag}
-	mb := w.mailbox(key)
-	for len(mb.queue) == 0 {
+	mb := p.recvMB(mbKey{comm, p.rank, src, tag})
+	for mb.n == 0 {
 		if mb.waiter != nil {
 			panic("mpi: two concurrent receives on one rank")
 		}
@@ -131,8 +344,7 @@ func (p *Proc) recv(comm, src, tag int) []byte {
 		p.sp.Suspend()
 		p.maybeCrash()
 	}
-	msg := mb.queue[0]
-	mb.queue = mb.queue[1:]
+	msg := mb.pop()
 	if msg.arrival > p.sp.Now() {
 		p.sp.WaitUntil(msg.arrival)
 		// Crashing here leaves a matched synchronous sender suspended
@@ -144,35 +356,103 @@ func (p *Proc) recv(comm, src, tag int) []byte {
 		// Release the synchronous sender at match time.
 		w.env.Wake(msg.sender.sp, p.sp.Now())
 	}
-	return msg.data
+	return msg
 }
 
-// recvTimeout waits at most timeout seconds of true time for a matching
-// message. ok=false means the deadline passed without a deliverable message;
-// a message still in flight past the deadline stays queued for a future
-// receive on the same (src, tag).
-func (p *Proc) recvTimeout(comm, src, tag int, timeout float64) ([]byte, bool) {
+// recv is the untyped blocking receive: it returns the payload as bytes.
+func (p *Proc) recv(comm, src, tag int) []byte {
+	m := p.recvMsg(comm, src, tag)
+	data := p.world.bytes(m)
+	p.world.freeMsg(m)
+	return data
+}
+
+// recvF64 receives a message sent by sendF64 without touching the heap.
+func (p *Proc) recvF64(comm, src, tag int) float64 {
+	m := p.recvMsg(comm, src, tag)
+	v, ok := f64Of(m)
+	p.world.freeMsg(m)
+	if !ok {
+		panic("mpi: RecvF64 on a non-8-byte message")
+	}
+	return v
+}
+
+// f64Of extracts a single-float64 payload of any kind, releasing pooled
+// storage. ok is false when the payload is not exactly one float64.
+func f64Of(m *message) (v float64, ok bool) {
+	switch m.kind {
+	case msgF64:
+		return m.v, true
+	case msgF64s:
+		fv := m.fv
+		m.fv = nil
+		m.sender.world.putF64s(fv)
+		if len(fv) != 1 {
+			return 0, false
+		}
+		return fv[0], true
+	default:
+		if len(m.data) != 8 {
+			return 0, false
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(m.data)), true
+	}
+}
+
+// recvF64sInto receives a float64 vector into dst (which must have the
+// sender's length), releasing the pooled payload. It is the receive half
+// of sendF64s.
+func (p *Proc) recvF64sInto(dst []float64, comm, src, tag int) {
+	m := p.recvMsg(comm, src, tag)
+	switch m.kind {
+	case msgF64s:
+		if len(m.fv) != len(dst) {
+			panic(fmt.Sprintf("mpi: recvF64sInto got %d values, want %d", len(m.fv), len(dst)))
+		}
+		copy(dst, m.fv)
+		p.world.putF64s(m.fv)
+		m.fv = nil
+	case msgF64:
+		if len(dst) != 1 {
+			panic(fmt.Sprintf("mpi: recvF64sInto got 1 value, want %d", len(dst)))
+		}
+		dst[0] = m.v
+	default:
+		if len(m.data) != 8*len(dst) {
+			panic(fmt.Sprintf("mpi: recvF64sInto got %d bytes, want %d", len(m.data), 8*len(dst)))
+		}
+		for i := range dst {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(m.data[8*i:]))
+		}
+	}
+	p.world.freeMsg(m)
+}
+
+// recvMsgTimeout waits at most timeout seconds of true time for a matching
+// message. A nil message means the deadline passed without a deliverable
+// message; a message still in flight past the deadline stays queued for a
+// future receive on the same (src, tag).
+func (p *Proc) recvMsgTimeout(comm, src, tag int, timeout float64) *message {
 	w := p.world
 	if src < 0 || src >= len(w.procs) {
 		panic(fmt.Sprintf("mpi: recv from invalid world rank %d", src))
 	}
 	p.maybeCrash()
 	deadline := p.sp.Now() + timeout
-	key := mbKey{comm, p.rank, src, tag}
-	mb := w.mailbox(key)
+	mb := p.recvMB(mbKey{comm, p.rank, src, tag})
 	for {
-		if len(mb.queue) > 0 {
-			msg := mb.queue[0]
-			if msg.arrival > deadline {
+		if mb.n > 0 {
+			if mb.front().arrival > deadline {
 				// Queue arrivals are nondecreasing (non-overtaking), so no
 				// queued message can make the deadline: wait it out.
 				if deadline > p.sp.Now() {
 					p.sp.WaitUntil(deadline)
 				}
 				p.maybeCrash()
-				return nil, false
+				return nil
 			}
-			mb.queue = mb.queue[1:]
+			msg := mb.pop()
 			if msg.arrival > p.sp.Now() {
 				p.sp.WaitUntil(msg.arrival)
 				p.maybeCrash()
@@ -181,10 +461,10 @@ func (p *Proc) recvTimeout(comm, src, tag int, timeout float64) ([]byte, bool) {
 			if msg.ssend {
 				w.env.Wake(msg.sender.sp, p.sp.Now())
 			}
-			return msg.data, true
+			return msg
 		}
 		if p.sp.Now() >= deadline {
-			return nil, false
+			return nil
 		}
 		if mb.waiter != nil {
 			panic("mpi: two concurrent receives on one rank")
@@ -200,6 +480,17 @@ func (p *Proc) recvTimeout(comm, src, tag int, timeout float64) ([]byte, bool) {
 		}
 		p.maybeCrash()
 	}
+}
+
+// recvTimeout is the untyped timed receive.
+func (p *Proc) recvTimeout(comm, src, tag int, timeout float64) ([]byte, bool) {
+	m := p.recvMsgTimeout(comm, src, tag, timeout)
+	if m == nil {
+		return nil, false
+	}
+	data := p.world.bytes(m)
+	p.world.freeMsg(m)
+	return data, true
 }
 
 // --- Comm-level typed helpers ---
@@ -237,38 +528,33 @@ func (c *Comm) RecvTimeout(src, tag int, timeout float64) (data []byte, ok bool)
 
 // RecvF64Timeout is the timed variant of RecvF64.
 func (c *Comm) RecvF64Timeout(src, tag int, timeout float64) (v float64, ok bool) {
-	b, ok := c.RecvTimeout(src, tag, timeout)
-	if !ok {
+	m := c.p.recvMsgTimeout(c.id, c.ranks[src], tag, timeout)
+	if m == nil {
 		return 0, false
 	}
-	if len(b) != 8 {
-		panic(fmt.Sprintf("mpi: RecvF64Timeout got %d bytes", len(b)))
+	v, fok := f64Of(m)
+	c.p.world.freeMsg(m)
+	if !fok {
+		panic("mpi: RecvF64Timeout on a non-8-byte message")
 	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(b)), true
+	return v, true
 }
 
 // SendF64 sends one float64 (8 B on the wire), the workhorse of the clock
-// offset algorithms (timestamps).
+// offset algorithms (timestamps). The value travels inside the message
+// struct: the hot ping-pong loops never allocate.
 func (c *Comm) SendF64(dst, tag int, v float64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-	c.Send(dst, tag, b[:])
+	c.p.sendF64(c.id, c.ranks[dst], tag, v, false)
 }
 
 // RecvF64 receives one float64 from src.
 func (c *Comm) RecvF64(src, tag int) float64 {
-	b := c.Recv(src, tag)
-	if len(b) != 8 {
-		panic(fmt.Sprintf("mpi: RecvF64 got %d bytes", len(b)))
-	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+	return c.p.recvF64(c.id, c.ranks[src], tag)
 }
 
 // SsendF64 is the synchronous variant of SendF64.
 func (c *Comm) SsendF64(dst, tag int, v float64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-	c.Ssend(dst, tag, b[:])
+	c.p.sendF64(c.id, c.ranks[dst], tag, v, true)
 }
 
 // EncodeF64s packs vals little-endian; the inverse of DecodeF64s.

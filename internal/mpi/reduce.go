@@ -85,11 +85,12 @@ func (c *Comm) reduceBinomial(vals []float64, op Op, root, tag, nbytes int) []fl
 	vr := (c.rank - root + n) % n
 	for mask := 1; mask < n; mask <<= 1 {
 		if vr&mask != 0 {
-			c.p.send(c.id, c.ranks[(vr-mask+root)%n], tag, nbytes, EncodeF64s(acc), false)
+			c.p.sendF64s(c.id, c.ranks[(vr-mask+root)%n], tag, nbytes, acc)
 			return nil
 		}
 		if vr+mask < n {
-			got := DecodeF64s(c.p.recv(c.id, c.ranks[(vr+mask+root)%n], tag))
+			got := c.p.scratchF64s(len(acc))
+			c.p.recvF64sInto(got, c.id, c.ranks[(vr+mask+root)%n], tag)
 			combine(op, acc, got)
 		}
 	}
@@ -175,21 +176,24 @@ func (c *Comm) allreduceRecDoubling(vals []float64, op Op, tag, nbytes int) []fl
 	rem := n - pof2
 	// Fold the extra ranks into the power-of-two set.
 	if r >= pof2 {
-		c.p.send(c.id, c.ranks[r-pof2], tag, nbytes, EncodeF64s(acc), false)
-		return DecodeF64s(c.p.recv(c.id, c.ranks[r-pof2], tag))
+		c.p.sendF64s(c.id, c.ranks[r-pof2], tag, nbytes, acc)
+		c.p.recvF64sInto(acc, c.id, c.ranks[r-pof2], tag)
+		return acc
 	}
 	if r < rem {
-		got := DecodeF64s(c.p.recv(c.id, c.ranks[r+pof2], tag))
+		got := c.p.scratchF64s(len(acc))
+		c.p.recvF64sInto(got, c.id, c.ranks[r+pof2], tag)
 		combine(op, acc, got)
 	}
 	for mask := 1; mask < pof2; mask <<= 1 {
 		partner := r ^ mask
-		c.p.send(c.id, c.ranks[partner], tag, nbytes, EncodeF64s(acc), false)
-		got := DecodeF64s(c.p.recv(c.id, c.ranks[partner], tag))
+		c.p.sendF64s(c.id, c.ranks[partner], tag, nbytes, acc)
+		got := c.p.scratchF64s(len(acc))
+		c.p.recvF64sInto(got, c.id, c.ranks[partner], tag)
 		combine(op, acc, got)
 	}
 	if r < rem {
-		c.p.send(c.id, c.ranks[r+pof2], tag, nbytes, EncodeF64s(acc), false)
+		c.p.sendF64s(c.id, c.ranks[r+pof2], tag, nbytes, acc)
 	}
 	return acc
 }
@@ -225,9 +229,10 @@ func (c *Comm) allreduceRing(vals []float64, op Op, tag, nbytes int) []float64 {
 	for s := 0; s < n-1; s++ {
 		sb := start(r - s)
 		eb := end(r - s)
-		c.p.send(c.id, c.ranks[right], tag, chunkBytes, EncodeF64s(acc[sb:eb]), false)
-		got := DecodeF64s(c.p.recv(c.id, c.ranks[left], tag))
-		gb := start(r - s - 1)
+		c.p.sendF64s(c.id, c.ranks[right], tag, chunkBytes, acc[sb:eb])
+		gb, ge := start(r-s-1), end(r-s-1)
+		got := c.p.scratchF64s(ge - gb)
+		c.p.recvF64sInto(got, c.id, c.ranks[left], tag)
 		for i, v := range got {
 			acc[gb+i] = op(acc[gb+i], v)
 		}
@@ -236,10 +241,9 @@ func (c *Comm) allreduceRing(vals []float64, op Op, tag, nbytes int) []float64 {
 	for s := 0; s < n-1; s++ {
 		sb := start(r + 1 - s)
 		eb := end(r + 1 - s)
-		c.p.send(c.id, c.ranks[right], tag, chunkBytes, EncodeF64s(acc[sb:eb]), false)
-		got := DecodeF64s(c.p.recv(c.id, c.ranks[left], tag))
-		gb := start(r - s)
-		copy(acc[gb:], got)
+		c.p.sendF64s(c.id, c.ranks[right], tag, chunkBytes, acc[sb:eb])
+		gb, ge := start(r-s), end(r-s)
+		c.p.recvF64sInto(acc[gb:ge], c.id, c.ranks[left], tag)
 	}
 	return acc[:orig]
 }

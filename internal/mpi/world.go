@@ -58,9 +58,22 @@ type World struct {
 	procs   []*Proc
 
 	mailboxes map[mbKey]*mailbox
-	lastArr   map[pairKey]float64 // non-overtaking clamp per (src,dst)
+	lastArr   map[pairKey]*float64 // non-overtaking clamp per (src,dst)
 	commIDs   map[splitKey]int
 	nextComm  int
+
+	// Free lists keep the steady-state messaging path allocation-free:
+	// message structs and pooled float64 payload slices are recycled for
+	// the lifetime of the job.
+	msgFree []*message
+	f64Free [][]float64
+}
+
+// mbCacheEntry is a rank's single-entry mailbox cache: the last (comm,
+// peer, tag) triple it sent to or received from, and the resolved queue.
+type mbCacheEntry struct {
+	key mbKey
+	mb  *mailbox
 }
 
 // Proc is one MPI rank's view of the job.
@@ -69,6 +82,22 @@ type Proc struct {
 	world *World
 	rank  int
 	comm  *Comm // world communicator handle
+
+	sendCache mbCacheEntry
+	recvCache mbCacheEntry
+	lastDst   int      // peer of the cached non-overtaking clamp cell
+	lastArrP  *float64 // cached clamp cell for (rank, lastDst)
+	scratch   []float64
+}
+
+// scratchF64s returns the rank's scratch vector resized to n, for
+// short-lived decode targets inside collectives. At most one scratch user
+// may be live at a time.
+func (p *Proc) scratchF64s(n int) []float64 {
+	if cap(p.scratch) < n {
+		p.scratch = make([]float64, n)
+	}
+	return p.scratch[:n]
 }
 
 // Run builds a machine from cfg, spawns cfg.NProcs ranks each executing
@@ -98,7 +127,7 @@ func RunOn(env *sim.Env, machine *cluster.Machine, cfg Config, main func(p *Proc
 		machine:   machine,
 		cfg:       cfg,
 		mailboxes: make(map[mbKey]*mailbox),
-		lastArr:   make(map[pairKey]float64),
+		lastArr:   make(map[pairKey]*float64),
 		commIDs:   make(map[splitKey]int),
 		nextComm:  1,
 	}
@@ -107,7 +136,7 @@ func RunOn(env *sim.Env, machine *cluster.Machine, cfg Config, main func(p *Proc
 		ranks[i] = i
 	}
 	for r := 0; r < cfg.NProcs; r++ {
-		p := &Proc{world: w, rank: r}
+		p := &Proc{world: w, rank: r, lastDst: -1}
 		p.comm = &Comm{p: p, id: 0, ranks: ranks, rank: r}
 		w.procs = append(w.procs, p)
 	}

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# benchdiff.sh — compare two `go test -bench` output files.
+#
+# Usage:
+#   go test -run '^$' -bench 'BenchmarkSim|BenchmarkHCA3|BenchmarkLinearFit' \
+#       -benchmem -count 10 . > old.txt
+#   ... apply the change ...
+#   go test -run '^$' -bench 'BenchmarkSim|BenchmarkHCA3|BenchmarkLinearFit' \
+#       -benchmem -count 10 . > new.txt
+#   scripts/benchdiff.sh old.txt new.txt
+#
+# With benchstat on PATH (go install golang.org/x/perf/cmd/benchstat@latest)
+# the comparison is statistically sound (use -count >= 10 for that). Without
+# it, the script falls back to a plain per-benchmark delta table over the
+# first sample of each benchmark — fine for spotting the big moves, not for
+# claiming small ones.
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 OLD.txt NEW.txt" >&2
+    exit 2
+fi
+old=$1
+new=$2
+
+if command -v benchstat >/dev/null 2>&1; then
+    exec benchstat "$old" "$new"
+fi
+
+echo "benchdiff: benchstat not found, falling back to single-sample deltas" >&2
+echo "benchdiff: (go install golang.org/x/perf/cmd/benchstat@latest for real statistics)" >&2
+
+awk '
+function keep(name) { sub(/-[0-9]+$/, "", name); return name }
+FNR == 1 { file++ }
+/^Benchmark/ {
+    name = keep($1)
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+    # fields: name iters v1 u1 v2 u2 ... — pick ns/op and allocs/op.
+    for (i = 3; i < NF; i += 2) {
+        if ($(i+1) == "ns/op" && !((file, name, "ns") in got)) {
+            val[file, name, "ns"] = $i; got[file, name, "ns"] = 1
+        }
+        if ($(i+1) == "allocs/op" && !((file, name, "al") in got)) {
+            val[file, name, "al"] = $i; got[file, name, "al"] = 1
+        }
+    }
+}
+END {
+    printf "%-55s %12s %12s %8s %10s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        if (!((1, name, "ns") in val) || !((2, name, "ns") in val)) continue
+        o = val[1, name, "ns"]; w = val[2, name, "ns"]
+        d = (o > 0) ? sprintf("%+.1f%%", 100 * (w - o) / o) : "n/a"
+        oa = ((1, name, "al") in val) ? val[1, name, "al"] : "-"
+        wa = ((2, name, "al") in val) ? val[2, name, "al"] : "-"
+        printf "%-55s %12.0f %12.0f %8s %10s %10s\n", name, o, w, d, oa, wa
+    }
+}' "$old" "$new"
