@@ -19,15 +19,19 @@ test:
 	$(GO) test ./...
 
 # The engine, simulator, MPI, and fault-tolerant sync layers are the
-# concurrency-bearing packages; run them under the race detector.
+# concurrency-bearing packages; cluster and stats feed them shared state
+# (disturbed hardware clocks, robust summaries), so run all of them under
+# the race detector.
 race:
-	$(GO) test -race ./internal/sim ./internal/mpi ./internal/harness ./internal/clocksync ./internal/faults
+	$(GO) test -race ./internal/sim ./internal/mpi ./internal/harness ./internal/clocksync ./internal/faults ./internal/cluster ./internal/stats
 
 # Short smoke run of the native fuzz targets (seed corpora always run as
 # part of `make test`; this explores beyond them).
 fuzz:
 	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzLinkSpecSample -fuzztime 10s
-	$(GO) test ./internal/clocksync -run '^$$' -fuzz FuzzFitOffsetSamples -fuzztime 10s
+	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzHWClockDisturbed -fuzztime 10s
+	$(GO) test ./internal/clocksync -run '^$$' -fuzz 'FuzzFitOffsetSamples$$' -fuzztime 10s
+	$(GO) test ./internal/clocksync -run '^$$' -fuzz FuzzFitOffsetSamplesRobust -fuzztime 10s
 
 check: build vet test race
 

@@ -165,6 +165,14 @@ func registry() []suiteDef {
 			seeded(seed, &cfg.Job.Seed)
 			return experiments.RunFaults(eng, cfg)
 		}},
+		{"clockfaults", "Clock faults — LS vs robust sync under step x Byzantine", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+			cfg := experiments.DefaultClockFaultsConfig()
+			if tiny {
+				cfg = experiments.TinyClockFaultsConfig()
+			}
+			seeded(seed, &cfg.Job.Seed)
+			return experiments.RunClockFaults(eng, cfg)
+		}},
 	}
 }
 

@@ -1,6 +1,7 @@
 package clocksync
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -72,6 +73,17 @@ type FTOpts struct {
 	// keeps only the offset correction — a slope fitted through fewer
 	// points would be dominated by noise and explode under extrapolation.
 	MinSamples int
+	// Robust selects the Theil–Sen drift fit (FitOffsetSamplesRobust)
+	// instead of least squares, trading a little efficiency on clean data
+	// for a ~29% breakdown point against corrupted samples.
+	Robust bool
+	// SeqBase offsets the session's wire sequence numbers. Sessions between
+	// the same pair that can leave stale packets behind (the drift
+	// watchdog's periodic probes) use disjoint bases so a leftover ping,
+	// pong, or done marker from an earlier session can never be mistaken
+	// for current traffic. Zero (the default) keeps the original wire
+	// format.
+	SeqBase int
 }
 
 func (o FTOpts) withDefaults() FTOpts {
@@ -107,52 +119,122 @@ type RankSync struct {
 	// Degraded marks a model learned from fewer than MinSamples samples
 	// (with zero samples the rank falls back to the identity model).
 	Degraded bool `json:"degraded"`
+	// Resyncs counts the drift-watchdog re-synchronizations this rank
+	// performed after the initial tree sync (0 when no watchdog ran or no
+	// divergence was detected).
+	Resyncs int `json:"resyncs,omitempty"`
+	// DetectedAt is the true simulation time of the watchdog's first
+	// divergence detection on this rank, 0 if none. True time is ground
+	// truth no real rank could observe; experiments use it to report
+	// detection latency against the fault schedule.
+	DetectedAt float64 `json:"detected_at,omitempty"`
 }
 
-// FitOffsetSamples fits a linear drift model to measured offset samples.
-// It is total: non-finite samples are discarded and degenerate sets get
-// conservative fallbacks (one sample → horizontal line; singular fit →
-// horizontal line through the mean) instead of NaN/Inf models. ok is false
-// when no usable sample remains; the returned model is then the identity.
-func FitOffsetSamples(samples []ClockOffset) (lm clock.LinearModel, ok bool) {
-	xs := make([]float64, 0, len(samples))
-	ys := make([]float64, 0, len(samples))
+// Fit errors. A non-nil error always comes with the identity model; a nil
+// error guarantees a fully finite model.
+var (
+	// ErrNoSamples means no finite (timestamp, offset) sample was left
+	// after discarding NaN/Inf fields.
+	ErrNoSamples = errors.New("clocksync: no finite offset samples")
+	// ErrNonFiniteFit means the sample magnitudes overflowed every
+	// regression path, including the horizontal-mean fallback.
+	ErrNonFiniteFit = errors.New("clocksync: offset fit is non-finite")
+)
+
+// FitOffsetSamples fits a linear drift model to measured offset samples by
+// least squares. It is total: non-finite samples are discarded and
+// degenerate sets get conservative fallbacks (one sample → horizontal line;
+// duplicate timestamps making the regression singular → horizontal line
+// through the mean) instead of NaN/Inf models. It returns ErrNoSamples when
+// no usable sample remains and ErrNonFiniteFit when the inputs overflow
+// every fallback; the model is then the identity.
+func FitOffsetSamples(samples []ClockOffset) (clock.LinearModel, error) {
+	xs, ys := finiteSamples(samples)
+	if len(xs) == 0 {
+		return clock.LinearModel{}, ErrNoSamples
+	}
+	fit := stats.FitLinear(xs, ys)
+	return finishFit(clock.LinearModel{Slope: fit.Slope, Intercept: fit.Intercept}, ys)
+}
+
+// robustFitMaxSamples caps the sample count fed to the O(n²) Theil–Sen
+// estimator; larger sets are thinned by a deterministic stride.
+const robustFitMaxSamples = 512
+
+// FitOffsetSamplesRobust fits a linear drift model with the Theil–Sen
+// estimator: resistant to up to ~29% corrupted samples, which is what a
+// clock step mid-window or a Byzantine reference's biased timestamps
+// produce. Input guards, degenerate fallbacks, and the error contract match
+// FitOffsetSamples; sample sets beyond robustFitMaxSamples are thinned by a
+// deterministic stride before the quadratic pairwise-slope pass.
+func FitOffsetSamplesRobust(samples []ClockOffset) (clock.LinearModel, error) {
+	xs, ys := finiteSamples(samples)
+	if len(xs) == 0 {
+		return clock.LinearModel{}, ErrNoSamples
+	}
+	if n := len(xs); n > robustFitMaxSamples {
+		stride := (n + robustFitMaxSamples - 1) / robustFitMaxSamples
+		k := 0
+		for i := 0; i < n; i += stride {
+			xs[k], ys[k] = xs[i], ys[i]
+			k++
+		}
+		xs, ys = xs[:k], ys[:k]
+	}
+	fit := stats.FitTheilSen(xs, ys)
+	return finishFit(clock.LinearModel{Slope: fit.Slope, Intercept: fit.Intercept}, ys)
+}
+
+// finiteSamples splits samples into coordinate slices, dropping any pair
+// with a NaN/Inf field.
+func finiteSamples(samples []ClockOffset) (xs, ys []float64) {
+	xs = make([]float64, 0, len(samples))
+	ys = make([]float64, 0, len(samples))
 	for _, s := range samples {
 		if finite(s.Timestamp) && finite(s.Offset) {
 			xs = append(xs, s.Timestamp)
 			ys = append(ys, s.Offset)
 		}
 	}
-	if len(xs) == 0 {
-		return clock.LinearModel{}, false
-	}
-	fit := stats.FitLinear(xs, ys)
-	lm = clock.LinearModel{Slope: fit.Slope, Intercept: fit.Intercept}
+	return xs, ys
+}
+
+// finishFit validates a fitted model, falling back to a horizontal line
+// through the running mean of ys when the regression overflowed. The mean
+// is computed incrementally so it stays finite whenever the data is.
+func finishFit(lm clock.LinearModel, ys []float64) (clock.LinearModel, error) {
 	if finite(lm.Slope) && finite(lm.Intercept) {
-		return lm, true
+		return lm, nil
 	}
-	// Extreme inputs can overflow the regression sums even when each
-	// sample is finite; fall back to a horizontal line through the mean,
-	// computed incrementally so it stays finite whenever the data is.
 	var mean float64
 	for i, y := range ys {
 		mean += (y - mean) / float64(i+1)
 	}
 	if !finite(mean) {
-		return clock.LinearModel{}, false
+		return clock.LinearModel{}, ErrNonFiniteFit
 	}
-	return clock.LinearModel{Intercept: mean}, true
+	return clock.LinearModel{Intercept: mean}, nil
 }
 
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
+// serveReading takes the reading a rank is about to serve to a sync client,
+// applying the rank's Byzantine perturbation when the fault plan marks it
+// adversarial. Honest ranks get the raw reading with no random draw.
+func serveReading(comm *mpi.Comm, clk clock.Clock) float64 {
+	p := comm.Proc()
+	return p.Faults().PerturbTimestamp(comm.WorldRank(comm.Rank()), clk.Time())
+}
+
 // ftServe is the reference side of one learning session: answer
 // sequence-numbered pings with (seq, reference clock reading) until the
 // client's done marker, the client's scheduled death, or the patience
-// budget runs out.
+// budget runs out. The session's sequence numbers live in [o.SeqBase, ∞);
+// its done marker is −(o.SeqBase+1). Anything below the base is a stale
+// leftover from an earlier session between the pair and is ignored.
 func ftServe(comm *mpi.Comm, clk clock.Clock, client int, o FTOpts) {
 	misses, served := 0, false
-	last := -1
+	last := o.SeqBase - 1
 	for {
 		if comm.DeadNow(client) {
 			return
@@ -172,14 +254,14 @@ func ftServe(comm *mpi.Comm, clk clock.Clock, client int, o FTOpts) {
 		misses = 0
 		served = true
 		seq := int(mpi.DecodeF64s(b)[0])
-		if seq < 0 {
+		if seq == -(o.SeqBase + 1) {
 			return
 		}
 		if seq <= last {
-			continue // duplicate of an already-served ping
+			continue // duplicate, or stale traffic from an earlier session
 		}
 		last = seq
-		comm.Send(client, ftTagPong, mpi.EncodeF64s([]float64{float64(seq), clk.Time()}))
+		comm.Send(client, ftTagPong, mpi.EncodeF64s([]float64{float64(seq), serveReading(comm, clk)}))
 	}
 }
 
@@ -200,7 +282,7 @@ func ftSample(comm *mpi.Comm, clk clock.Clock, ref, n int, o FTOpts) (samples []
 	// The wire sequence number advances on every ping sent — including
 	// connect retries — so the reference always answers and stale pongs are
 	// unambiguous; it is deliberately decoupled from the fit-point index.
-	seq := 0
+	seq := o.SeqBase
 	attempt := func() (r ftRaw, ok bool) {
 		sLast := clk.Time()
 		comm.Send(ref, ftTagPing, mpi.EncodeF64s([]float64{float64(seq)}))
@@ -234,7 +316,7 @@ func ftSample(comm *mpi.Comm, clk clock.Clock, ref, n int, o FTOpts) (samples []
 	}
 	done := func() {
 		if !comm.DeadNow(ref) {
-			comm.Send(ref, ftTagPing, mpi.EncodeF64s([]float64{-1}))
+			comm.Send(ref, ftTagPing, mpi.EncodeF64s([]float64{float64(-(o.SeqBase + 1))}))
 		}
 	}
 
@@ -290,19 +372,22 @@ type ftRaw struct {
 	rtt float64
 }
 
-// ftFilter keeps the samples whose round-trip time is close to the session
-// minimum, counting the discarded ones as lost.
+// ftFilter keeps the samples whose round-trip time is close to the bulk of
+// the session's RTT distribution, counting the discarded ones as lost. The
+// threshold is median + 3·MAD: unlike a multiple of the session minimum, it
+// keeps its meaning when the minimum itself is an outlier (a single
+// freakishly fast exchange) and degrades gracefully when most exchanges are
+// queued. The 1 ns floor keeps zero-jitter links (MAD = 0) from discarding
+// their own median.
 func ftFilter(raws []ftRaw, lost *int) []ClockOffset {
 	if len(raws) == 0 {
 		return nil
 	}
-	min := raws[0].rtt
-	for _, r := range raws[1:] {
-		if r.rtt < min {
-			min = r.rtt
-		}
+	rtts := make([]float64, len(raws))
+	for i, r := range raws {
+		rtts[i] = r.rtt
 	}
-	limit := 1.5*min + 1e-9
+	limit := stats.Median(rtts) + 3*stats.MAD(rtts) + 1e-9
 	var kept []ClockOffset
 	for _, r := range raws {
 		if r.rtt <= limit {
@@ -331,7 +416,12 @@ func LearnClockModelFT(comm *mpi.Comm, nfit int, o FTOpts, ref, client int,
 		return clock.LinearModel{}, 0, 0, false
 	case client:
 		ss, lost := ftSample(comm, clk, ref, nfit, o)
-		lm, ok := FitOffsetSamples(ss)
+		fit := FitOffsetSamples
+		if o.Robust {
+			fit = FitOffsetSamplesRobust
+		}
+		lm, err := fit(ss)
+		ok := err == nil
 		degraded = !ok || len(ss) < o.MinSamples
 		if degraded && ok {
 			// Too few samples to trust a fitted slope — through two points

@@ -12,30 +12,66 @@ import (
 )
 
 func TestFitOffsetSamplesDegenerate(t *testing.T) {
-	if _, ok := FitOffsetSamples(nil); ok {
-		t.Error("empty sample set fitted a model")
+	for name, fit := range map[string]func([]ClockOffset) (clock.LinearModel, error){
+		"ls": FitOffsetSamples, "robust": FitOffsetSamplesRobust,
+	} {
+		if _, err := fit(nil); err != ErrNoSamples {
+			t.Errorf("%s: empty sample set: err = %v, want ErrNoSamples", name, err)
+		}
+		lm, err := fit([]ClockOffset{{Timestamp: 5, Offset: 2e-6}})
+		if err != nil || lm.Slope != 0 || lm.Intercept != 2e-6 {
+			t.Errorf("%s: one sample: got %+v, %v; want horizontal through 2e-6", name, lm, err)
+		}
+		// Non-finite samples are dropped, not propagated.
+		lm, err = fit([]ClockOffset{
+			{Timestamp: math.NaN(), Offset: 1},
+			{Timestamp: 1, Offset: math.Inf(1)},
+			{Timestamp: 2, Offset: 3e-6},
+		})
+		if err != nil || lm.Slope != 0 || lm.Intercept != 3e-6 {
+			t.Errorf("%s: filtered fit: got %+v, %v", name, lm, err)
+		}
+		if _, err := fit([]ClockOffset{{Timestamp: math.NaN(), Offset: math.NaN()}}); err != ErrNoSamples {
+			t.Errorf("%s: all-NaN sample set: err = %v, want ErrNoSamples", name, err)
+		}
 	}
-	lm, ok := FitOffsetSamples([]ClockOffset{{Timestamp: 5, Offset: 2e-6}})
-	if !ok || lm.Slope != 0 || lm.Intercept != 2e-6 {
-		t.Errorf("one sample: got %+v, %v; want horizontal through 2e-6", lm, ok)
+	// Identical timestamps make the regressions singular; both fall back to
+	// a horizontal line (least squares through the mean, Theil–Sen through
+	// the median).
+	lm, err := FitOffsetSamples([]ClockOffset{{Timestamp: 1, Offset: 2}, {Timestamp: 1, Offset: 4}})
+	if err != nil || lm.Slope != 0 || lm.Intercept != 3 {
+		t.Errorf("singular LS fit: got %+v, %v; want horizontal through 3", lm, err)
 	}
-	// Non-finite samples are dropped, not propagated.
-	lm, ok = FitOffsetSamples([]ClockOffset{
-		{Timestamp: math.NaN(), Offset: 1},
-		{Timestamp: 1, Offset: math.Inf(1)},
-		{Timestamp: 2, Offset: 3e-6},
-	})
-	if !ok || lm.Slope != 0 || lm.Intercept != 3e-6 {
-		t.Errorf("filtered fit: got %+v, %v", lm, ok)
+	lm, err = FitOffsetSamplesRobust([]ClockOffset{{Timestamp: 1, Offset: 2}, {Timestamp: 1, Offset: 4}})
+	if err != nil || lm.Slope != 0 || lm.Intercept != 3 {
+		t.Errorf("singular robust fit: got %+v, %v; want horizontal through 3", lm, err)
 	}
-	if _, ok := FitOffsetSamples([]ClockOffset{{Timestamp: math.NaN(), Offset: math.NaN()}}); ok {
-		t.Error("all-NaN sample set fitted a model")
+}
+
+// A clock step mid-window corrupts a quarter of the samples; the robust fit
+// must track the majority segment while least squares is steered.
+func TestFitOffsetSamplesRobustSurvivesClockStep(t *testing.T) {
+	var ss []ClockOffset
+	for i := 0; i < 40; i++ {
+		o := ClockOffset{Timestamp: float64(i) * 0.01, Offset: 2e-6 + 1e-7*float64(i)*0.01}
+		if i >= 30 {
+			o.Offset += 5e-3 // the stepped tail
+		}
+		ss = append(ss, o)
 	}
-	// Identical timestamps make the regression singular; the fallback is a
-	// horizontal line through the mean.
-	lm, ok = FitOffsetSamples([]ClockOffset{{Timestamp: 1, Offset: 2}, {Timestamp: 1, Offset: 4}})
-	if !ok || lm.Slope != 0 || lm.Intercept != 3 {
-		t.Errorf("singular fit: got %+v, %v; want horizontal through 3", lm, ok)
+	robust, err := FitOffsetSamplesRobust(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := robust.Predict(0.15); math.Abs(got-(2e-6+1e-7*0.15)) > 1e-6 {
+		t.Errorf("robust fit steered by step: predicts %v mid-window", got)
+	}
+	ls, err := FitOffsetSamples(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ls.Predict(0.15); math.Abs(got-(2e-6+1e-7*0.15)) < 1e-4 {
+		t.Errorf("least squares unexpectedly survived the step (%v); test premise broken", got)
 	}
 }
 
@@ -110,9 +146,10 @@ func TestHCA3FTSurvivesCrashedRoot(t *testing.T) {
 		if rep.Degraded {
 			t.Errorf("survivor %d degraded without message loss: %+v", r, rep)
 		}
-		// The RTT filter may discard a queued first exchange; everything
-		// else must survive on a lossless link.
-		if rep.Ref != -1 && rep.Samples < alg.NFitpoints-2 {
+		// The median+MAD RTT filter trims the upper tail of the jittery
+		// RTT distribution (plus any queued first exchange), but on a
+		// lossless link a clear majority must survive.
+		if rep.Ref != -1 && rep.Samples < alg.NFitpoints/2 {
 			t.Errorf("survivor %d kept only %d/%d samples on a lossless link", r, rep.Samples, alg.NFitpoints)
 		}
 	}

@@ -22,46 +22,75 @@ func fuzzSamples(raw []byte) []ClockOffset {
 	return samples
 }
 
-// FuzzFitOffsetSamples checks that the FT drift estimator is total: for any
-// sample set — empty, degenerate, non-finite, or overflowing — it must not
-// panic, and it must either decline (ok=false, identity model) or return a
-// fully finite model.
-func FuzzFitOffsetSamples(f *testing.F) {
-	enc := func(vals ...float64) []byte {
-		b := make([]byte, 8*len(vals))
-		for i, v := range vals {
-			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
-		}
-		return b
+// fuzzEnc packs float64 values into the fuzzer's raw-bytes sample format.
+func fuzzEnc(vals ...float64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
 	}
-	f.Add(enc())                                       // no samples
-	f.Add(enc(1, 2e-6))                                // one sample
-	f.Add(enc(1, 2e-6, 2, 2.1e-6, 3, 2.2e-6))          // clean ramp
-	f.Add(enc(math.NaN(), 1, 1, math.Inf(1)))          // non-finite fields
-	f.Add(enc(1, 1, 1, 2))                             // singular regression
-	f.Add(enc(1e308, 1e308, -1e308, 1e308, 2, 1e308))  // overflowing sums
-	f.Add(enc(5e-324, 1e-300, -5e-324, -1e-300, 0, 0)) // denormals
-	f.Fuzz(func(t *testing.T, raw []byte) {
-		samples := fuzzSamples(raw)
-		lm, ok := FitOffsetSamples(samples)
-		if !ok {
-			if lm != (clock.LinearModel{}) {
-				t.Fatalf("declined fit returned non-identity model %+v", lm)
-			}
-			return
+	return b
+}
+
+// fuzzFitSeeds is the shared seed corpus for both drift-estimator fuzz
+// targets, including clock-step discontinuities mid-window.
+func fuzzFitSeeds(f *testing.F) {
+	f.Add(fuzzEnc())                                       // no samples
+	f.Add(fuzzEnc(1, 2e-6))                                // one sample
+	f.Add(fuzzEnc(1, 2e-6, 2, 2.1e-6, 3, 2.2e-6))          // clean ramp
+	f.Add(fuzzEnc(math.NaN(), 1, 1, math.Inf(1)))          // non-finite fields
+	f.Add(fuzzEnc(1, 1, 1, 2))                             // singular regression
+	f.Add(fuzzEnc(1e308, 1e308, -1e308, 1e308, 2, 1e308))  // overflowing sums
+	f.Add(fuzzEnc(5e-324, 1e-300, -5e-324, -1e-300, 0, 0)) // denormals
+	// Clock-step discontinuities: a forward step mid-window, a backward
+	// step on the last sample, and a step landing between duplicate
+	// timestamps.
+	f.Add(fuzzEnc(1, 2e-6, 2, 2.1e-6, 3, 5e-3, 4, 5.0001e-3))
+	f.Add(fuzzEnc(1, 2e-6, 2, 2.1e-6, 3, -7e-3))
+	f.Add(fuzzEnc(1, 2e-6, 1, 5e-3, 2, 5.1e-3))
+}
+
+// checkFitTotal asserts the drift-estimator contract on one fuzz input: for
+// any sample set — empty, degenerate, non-finite, or overflowing — the fit
+// must not panic, and it must either return a typed error with the identity
+// model or a fully finite model.
+func checkFitTotal(t *testing.T, raw []byte, fit func([]ClockOffset) (clock.LinearModel, error)) {
+	samples := fuzzSamples(raw)
+	lm, err := fit(samples)
+	if err != nil {
+		if err != ErrNoSamples && err != ErrNonFiniteFit {
+			t.Fatalf("unknown error %v", err)
 		}
-		if !finite(lm.Slope) || !finite(lm.Intercept) {
-			t.Fatalf("non-finite model %+v from %d samples", lm, len(samples))
+		if lm != (clock.LinearModel{}) {
+			t.Fatalf("declined fit returned non-identity model %+v", lm)
 		}
-		usable := false
-		for _, s := range samples {
-			if finite(s.Timestamp) && finite(s.Offset) {
-				usable = true
-				break
-			}
+		return
+	}
+	if !finite(lm.Slope) || !finite(lm.Intercept) {
+		t.Fatalf("non-finite model %+v from %d samples", lm, len(samples))
+	}
+	usable := false
+	for _, s := range samples {
+		if finite(s.Timestamp) && finite(s.Offset) {
+			usable = true
+			break
 		}
-		if !usable {
-			t.Fatalf("model %+v fitted with no finite sample", lm)
-		}
-	})
+	}
+	if !usable {
+		t.Fatalf("model %+v fitted with no finite sample", lm)
+	}
+}
+
+// FuzzFitOffsetSamples checks that the least-squares FT drift estimator is
+// total.
+func FuzzFitOffsetSamples(f *testing.F) {
+	fuzzFitSeeds(f)
+	f.Fuzz(func(t *testing.T, raw []byte) { checkFitTotal(t, raw, FitOffsetSamples) })
+}
+
+// FuzzFitOffsetSamplesRobust checks the same contract for the Theil–Sen
+// estimator, whose pairwise-slope differences hit overflow and degenerate-x
+// corners the least-squares path does not.
+func FuzzFitOffsetSamplesRobust(f *testing.F) {
+	fuzzFitSeeds(f)
+	f.Fuzz(func(t *testing.T, raw []byte) { checkFitTotal(t, raw, FitOffsetSamplesRobust) })
 }

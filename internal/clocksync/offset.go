@@ -67,7 +67,7 @@ func (s SKaMPIOffset) MeasureOffset(comm *mpi.Comm, clk clock.Clock, ref, client
 	case ref:
 		for i := 0; i < n; i++ {
 			comm.RecvF64(client, tagPing)
-			tLast := clk.Time()
+			tLast := serveReading(comm, clk)
 			comm.SendF64(client, tagPong, tLast)
 		}
 		return ClockOffset{}
@@ -136,7 +136,7 @@ func (m *MeanRTTOffset) MeasureOffset(comm *mpi.Comm, clk clock.Clock, ref, clie
 	if me == ref {
 		for i := 0; i < n; i++ {
 			comm.RecvF64(client, tagPing)
-			tLocal := clk.Time()
+			tLocal := serveReading(comm, clk)
 			comm.SsendF64(client, tagPong, tLocal)
 		}
 		return ClockOffset{}

@@ -174,3 +174,130 @@ func TestTrueWhenBeforeOriginClamps(t *testing.T) {
 		t.Errorf("TrueWhen(reading before origin) = %v, want clamp to 0", got)
 	}
 }
+
+// --- Disturbances: steps and frequency jumps (clock-fault model) ---
+
+func TestForkReproducesReadings(t *testing.T) {
+	spec := ClockSpec{
+		Offset: 3, BaseSkew: 2e-6,
+		WanderSigma: 5e-8, WanderRho: 0.99, WanderInterval: 1,
+	}
+	a := NewHWClock(spec, 99)
+	b := a.Fork()
+	for tt := 0.0; tt < 40; tt += 0.7 {
+		if a.ReadAt(tt) != b.ReadAt(tt) {
+			t.Fatalf("fork diverges at t=%v", tt)
+		}
+	}
+	// Disturbing the fork leaves the original untouched.
+	b.AddStep(10, 1e-3)
+	if a.ReadAt(20) == b.ReadAt(20) {
+		t.Error("step on fork leaked into original")
+	}
+	if got, want := b.ReadAt(20)-a.ReadAt(20), 1e-3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("step contribution = %v, want %v", got, want)
+	}
+}
+
+func TestStepAndFreqJumpReadings(t *testing.T) {
+	c := NewHWClock(ClockSpec{Offset: 0, BaseSkew: 0}, 1)
+	c.AddStep(5, 2e-3)
+	c.AddFreqJump(10, 100e-6)
+	if got := c.ReadAt(4); math.Abs(got-4) > 1e-12 {
+		t.Errorf("pre-step reading = %v, want 4", got)
+	}
+	if got, want := c.ReadAt(6), 6+2e-3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("post-step reading = %v, want %v", got, want)
+	}
+	if got, want := c.ReadAt(20), 20+2e-3+100e-6*10; math.Abs(got-want) > 1e-12 {
+		t.Errorf("post-freq-jump reading = %v, want %v", got, want)
+	}
+	if got, want := c.SkewAt(20), 100e-6; math.Abs(got-want) > 1e-15 {
+		t.Errorf("SkewAt(20) = %v, want %v", got, want)
+	}
+}
+
+// TestDisturbedRoundTripProperty is the satellite property test: for a
+// wandering clock with injected steps and frequency jumps,
+// TrueWhen(ReadAt(t)) == t (to float tolerance) at every t where the
+// reading is unique, across wander segments and disturbance boundaries.
+func TestDisturbedRoundTripProperty(t *testing.T) {
+	c := NewHWClock(ClockSpec{
+		Offset: -2.5, BaseSkew: 3e-6,
+		WanderSigma: 5e-8, WanderRho: 0.999, WanderInterval: 1,
+	}, 21)
+	c.AddStep(7.25, 5e-3)     // forward step mid-segment
+	c.AddFreqJump(13.5, 2e-4) // persistent excursion
+	c.AddStep(31, 1e-4)       // second, smaller step
+	f := func(raw uint32) bool {
+		tt := float64(raw%60000) / 1000 // 0..60 s
+		l := c.ReadAt(tt)
+		back := c.TrueWhen(l)
+		return math.Abs(back-tt) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Boundary instants themselves round-trip too.
+	for _, tt := range []float64{7.25, 13.5, 31, 7.2500001, 30.9999999} {
+		l := c.ReadAt(tt)
+		if back := c.TrueWhen(l); math.Abs(back-tt) > 1e-8 {
+			t.Errorf("TrueWhen(ReadAt(%v)) = %v", tt, back)
+		}
+	}
+}
+
+func TestForwardStepGapMapsToStepInstant(t *testing.T) {
+	c := NewHWClock(ClockSpec{Offset: 0, BaseSkew: 0}, 1)
+	c.AddStep(10, 1e-3)
+	// Readings inside (10, 10+1e-3) never occur; the pseudo-inverse pins
+	// them to the step instant.
+	if got := c.TrueWhen(10 + 5e-4); math.Abs(got-10) > 1e-9 {
+		t.Errorf("gap reading maps to %v, want 10", got)
+	}
+}
+
+func TestBackwardStepEarliestOccurrence(t *testing.T) {
+	c := NewHWClock(ClockSpec{Offset: 0, BaseSkew: 0}, 1)
+	c.AddStep(10, -2e-3)
+	// Readings in (10-2e-3, 10) occur twice; TrueWhen picks the earliest,
+	// and ReadAt(TrueWhen(l)) == l still holds.
+	l := 10 - 1e-3
+	tt := c.TrueWhen(l)
+	if tt >= 10 {
+		t.Errorf("TrueWhen(%v) = %v, want earliest occurrence before the step", l, tt)
+	}
+	if got := c.ReadAt(tt); math.Abs(got-l) > 1e-12 {
+		t.Errorf("ReadAt(TrueWhen(%v)) = %v", l, got)
+	}
+	// Post-step times still invert with TrueWhen <= t and matching reading.
+	for _, tq := range []float64{10.0005, 10.1, 25} {
+		l := c.ReadAt(tq)
+		back := c.TrueWhen(l)
+		if back > tq+1e-9 {
+			t.Errorf("TrueWhen(ReadAt(%v)) = %v > t", tq, back)
+		}
+		if got := c.ReadAt(back); math.Abs(got-l) > 1e-9 {
+			t.Errorf("reading not reproduced at earliest occurrence of %v", l)
+		}
+	}
+}
+
+func TestDisturbanceFreeClockBitIdentical(t *testing.T) {
+	// The disturbance machinery must not perturb a healthy clock by even
+	// one ulp: a clock with no disturbances reads identically to one built
+	// before the feature existed (same code path, no added arithmetic).
+	spec := ClockSpec{
+		Offset: 1.5, BaseSkew: -2e-6,
+		WanderSigma: 1e-7, WanderRho: 0.99, WanderInterval: 1,
+	}
+	a := NewHWClock(spec, 17)
+	b := NewHWClock(spec, 17)
+	b.AddStep(5, 0) // zero-magnitude disturbance present but inert
+	for tt := 0.0; tt < 30; tt += 0.31 {
+		ra, rb := a.ReadAt(tt), b.ReadAt(tt)
+		if ra != rb {
+			t.Fatalf("zero-magnitude disturbance changed reading at t=%v: %v vs %v", tt, ra, rb)
+		}
+	}
+}

@@ -19,10 +19,13 @@ import (
 // The simulation kernel and MPI layer carry an observable determinism
 // contract: for a fixed seed, an experiment's rendered output is a fixed
 // byte sequence, at any -jobs setting and any GOMAXPROCS. The hashes in
-// testdata/golden_hashes.json were produced before the zero-allocation
-// kernel rewrite (PR 3) and pin fig3, fig7, and the faults suite against
-// silent drift: any change to the (t, seq) tie-break, an RNG draw order,
-// or message matching shows up here as a hash mismatch.
+// testdata/golden_hashes.json pin fig3, fig7, and the faults and
+// clockfaults suites against silent drift: any change to the (t, seq)
+// tie-break, an RNG draw order, or message matching shows up here as a
+// hash mismatch. The fig3/fig7 hashes are additionally the zero-plan
+// byte-identity guarantee: they predate both the zero-allocation kernel
+// rewrite (PR 3) and the clock-fault subsystem (PR 4) and still match,
+// proving a nil/zero fault plan leaves the simulation untouched.
 //
 // Regenerate (only when an output change is intended and understood) with:
 //
@@ -57,6 +60,15 @@ func goldenSuites() []goldenSuite {
 		}},
 		{"faults", func(eng *harness.Engine) (string, error) {
 			res, err := RunFaults(eng, TinyFaultsConfig())
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			res.Print(&b)
+			return b.String(), nil
+		}},
+		{"clockfaults", func(eng *harness.Engine) (string, error) {
+			res, err := RunClockFaults(eng, TinyClockFaultsConfig())
 			if err != nil {
 				return "", err
 			}

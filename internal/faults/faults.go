@@ -45,6 +45,34 @@ type Episode struct {
 	Extra  float64 `json:"extra,omitempty"`
 }
 
+// ClockStep is a one-shot clock fault: at true time At, world rank Rank's
+// hardware clock reading jumps by Delta seconds (an NTP-style step;
+// negative deltas step the clock backward).
+type ClockStep struct {
+	Rank  int     `json:"rank"`
+	At    float64 `json:"at"`
+	Delta float64 `json:"delta"`
+}
+
+// FreqJump is a persistent clock-rate fault: from true time At onward,
+// world rank Rank's hardware clock runs PPM fractional units fast (e.g.
+// 500e-6 = 500 ppm; negative slows the clock).
+type FreqJump struct {
+	Rank int     `json:"rank"`
+	At   float64 `json:"at"`
+	PPM  float64 `json:"ppm"`
+}
+
+// ByzRank marks a Byzantine rank: every timestamp it *serves* to a sync
+// client is perturbed by Bias plus uniform jitter of amplitude
+// Plan.ByzJitter. Its own clock is untouched — the rank lies to others, it
+// is not confused about itself, which is the adversarial worst case for
+// tree aggregation.
+type ByzRank struct {
+	Rank int     `json:"rank"`
+	Bias float64 `json:"bias"`
+}
+
 // Plan is the full fault schedule of one simulated job. The zero value is a
 // healthy cluster.
 type Plan struct {
@@ -57,14 +85,26 @@ type Plan struct {
 	Crashes []Crash `json:"crashes,omitempty"`
 	// Episodes are the degraded-link windows.
 	Episodes []Episode `json:"episodes,omitempty"`
+	// Steps are the scheduled one-shot clock jumps.
+	Steps []ClockStep `json:"steps,omitempty"`
+	// FreqJumps are the scheduled persistent clock-rate excursions.
+	FreqJumps []FreqJump `json:"freq_jumps,omitempty"`
+	// Byz are the Byzantine ranks and their timestamp biases.
+	Byz []ByzRank `json:"byzantine,omitempty"`
+	// ByzJitter is the amplitude of the uniform jitter added on top of each
+	// Byzantine rank's bias per served timestamp.
+	ByzJitter float64 `json:"byz_jitter,omitempty"`
 	// Seed seeds the injector's private random stream for per-message
 	// coin flips and duplicate-delay draws.
 	Seed int64 `json:"seed,omitempty"`
 }
 
-// Zero reports whether the plan injects nothing at all.
+// Zero reports whether the plan injects nothing at all. ByzJitter without
+// Byzantine ranks perturbs nothing, so it alone does not make a plan
+// non-zero.
 func (p Plan) Zero() bool {
-	return p.DropProb <= 0 && p.DupProb <= 0 && len(p.Crashes) == 0 && len(p.Episodes) == 0
+	return p.DropProb <= 0 && p.DupProb <= 0 && len(p.Crashes) == 0 && len(p.Episodes) == 0 &&
+		len(p.Steps) == 0 && len(p.FreqJumps) == 0 && len(p.Byz) == 0
 }
 
 // PlanConfig describes fault *intensity*; Derive expands it into a concrete
@@ -88,6 +128,28 @@ type PlanConfig struct {
 	EpisodeLen    float64 `json:"episode_len,omitempty"`
 	EpisodeFactor float64 `json:"episode_factor,omitempty"`
 	EpisodeExtra  float64 `json:"episode_extra,omitempty"`
+	// NSteps one-shot clock jumps hit distinct non-root ranks (rank 0
+	// anchors global time, so stepping it would redefine truth rather than
+	// fault a clock), each at a time uniform in [StepFrom, StepTo) with a
+	// magnitude uniform in [StepMin, StepMax). Signs are taken as given —
+	// configure a negative range for backward steps.
+	NSteps   int     `json:"n_steps,omitempty"`
+	StepFrom float64 `json:"step_from,omitempty"`
+	StepTo   float64 `json:"step_to,omitempty"`
+	StepMin  float64 `json:"step_min,omitempty"`
+	StepMax  float64 `json:"step_max,omitempty"`
+	// NFreqJumps persistent rate excursions of FreqPPM hit distinct
+	// non-root ranks at times uniform in [FreqFrom, FreqTo).
+	NFreqJumps int     `json:"n_freq_jumps,omitempty"`
+	FreqFrom   float64 `json:"freq_from,omitempty"`
+	FreqTo     float64 `json:"freq_to,omitempty"`
+	FreqPPM    float64 `json:"freq_ppm,omitempty"`
+	// NByzantine non-root ranks serve adversarially perturbed timestamps:
+	// a per-rank bias of magnitude ByzBias with a seed-derived sign, plus
+	// uniform jitter of amplitude ByzJitter per served timestamp.
+	NByzantine int     `json:"n_byzantine,omitempty"`
+	ByzBias    float64 `json:"byz_bias,omitempty"`
+	ByzJitter  float64 `json:"byz_jitter,omitempty"`
 }
 
 // Derive expands the config into a concrete Plan for a job with nprocs
@@ -124,7 +186,57 @@ func (c PlanConfig) Derive(nprocs int, seed int64) Plan {
 			Extra:  c.EpisodeExtra,
 		})
 	}
+	// Clock faults and Byzantine sets draw after the message-fault schedule,
+	// so configs that predate them derive byte-identical plans. All three
+	// target only non-root ranks: rank 0 is the tree root and the anchor of
+	// global time in every sync algorithm here, so faulting it would change
+	// the reference frame instead of testing robustness against it.
+	if n := c.NSteps; n > 0 && nprocs > 1 {
+		for _, r := range nonRootPerm(rng, nprocs, n) {
+			at := c.StepFrom
+			if c.StepTo > c.StepFrom {
+				at += rng.Float64() * (c.StepTo - c.StepFrom)
+			}
+			delta := c.StepMin
+			if c.StepMax > c.StepMin {
+				delta += rng.Float64() * (c.StepMax - c.StepMin)
+			}
+			plan.Steps = append(plan.Steps, ClockStep{Rank: r, At: at, Delta: delta})
+		}
+	}
+	if n := c.NFreqJumps; n > 0 && nprocs > 1 {
+		for _, r := range nonRootPerm(rng, nprocs, n) {
+			at := c.FreqFrom
+			if c.FreqTo > c.FreqFrom {
+				at += rng.Float64() * (c.FreqTo - c.FreqFrom)
+			}
+			plan.FreqJumps = append(plan.FreqJumps, FreqJump{Rank: r, At: at, PPM: c.FreqPPM})
+		}
+	}
+	if n := c.NByzantine; n > 0 && nprocs > 1 {
+		plan.ByzJitter = c.ByzJitter
+		for _, r := range nonRootPerm(rng, nprocs, n) {
+			bias := c.ByzBias
+			if rng.Float64() < 0.5 {
+				bias = -bias
+			}
+			plan.Byz = append(plan.Byz, ByzRank{Rank: r, Bias: bias})
+		}
+	}
 	return plan
+}
+
+// nonRootPerm picks min(n, nprocs-1) distinct ranks from 1..nprocs-1 in a
+// seed-derived order.
+func nonRootPerm(rng *rand.Rand, nprocs, n int) []int {
+	if n > nprocs-1 {
+		n = nprocs - 1
+	}
+	perm := rng.Perm(nprocs - 1)[:n]
+	for i := range perm {
+		perm[i]++
+	}
+	return perm
 }
 
 // Injector executes one Plan inside one simulated job. All methods are safe
@@ -136,6 +248,11 @@ type Injector struct {
 	plan    Plan
 	rng     *rand.Rand
 	crashAt map[int]float64
+	byzBias map[int]float64
+	// byzRng drives per-timestamp Byzantine jitter. It is separate from the
+	// message-fault stream so adding Byzantine ranks to a plan does not
+	// shift the drop/duplicate coin sequence, and vice versa.
+	byzRng *rand.Rand
 }
 
 // NewInjector builds an injector for plan. The per-message stream is seeded
@@ -149,6 +266,13 @@ func NewInjector(plan Plan) *Injector {
 				in.crashAt[c.Rank] = c.At
 			}
 		}
+	}
+	if len(plan.Byz) > 0 {
+		in.byzBias = make(map[int]float64, len(plan.Byz))
+		for _, b := range plan.Byz {
+			in.byzBias[b.Rank] = b.Bias
+		}
+		in.byzRng = rand.New(rand.NewSource(plan.Seed ^ 0x2B7A11CE))
 	}
 	return in
 }
@@ -232,4 +356,88 @@ func (in *Injector) CrashScheduled(rank int) bool {
 // CrashedAt reports whether rank is dead at true time t.
 func (in *Injector) CrashedAt(rank int, t float64) bool {
 	return t >= in.CrashTime(rank)
+}
+
+// IsByzantine reports whether world rank serves perturbed timestamps.
+func (in *Injector) IsByzantine(rank int) bool {
+	if in == nil || in.byzBias == nil {
+		return false
+	}
+	_, ok := in.byzBias[rank]
+	return ok
+}
+
+// PerturbTimestamp applies rank's Byzantine perturbation to a clock reading
+// the rank is about to serve to a sync client: the rank's bias plus uniform
+// jitter in [-ByzJitter, ByzJitter]. Honest ranks (and nil injectors) get
+// the reading back untouched with no random draw, preserving the zero-plan
+// byte-identity guarantee.
+func (in *Injector) PerturbTimestamp(rank int, reading float64) float64 {
+	if in == nil || in.byzBias == nil {
+		return reading
+	}
+	bias, ok := in.byzBias[rank]
+	if !ok {
+		return reading
+	}
+	p := bias
+	if j := in.plan.ByzJitter; j > 0 {
+		p += j * (2*in.byzRng.Float64() - 1)
+	}
+	return reading + p
+}
+
+// ClockSteps returns the scheduled one-shot clock jumps for world rank.
+func (in *Injector) ClockSteps(rank int) []ClockStep {
+	if in == nil {
+		return nil
+	}
+	var out []ClockStep
+	for _, s := range in.plan.Steps {
+		if s.Rank == rank {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ClockFreqJumps returns the scheduled rate excursions for world rank.
+func (in *Injector) ClockFreqJumps(rank int) []FreqJump {
+	if in == nil {
+		return nil
+	}
+	var out []FreqJump
+	for _, j := range in.plan.FreqJumps {
+		if j.Rank == rank {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// HasClockFaults reports whether any rank has a scheduled step or rate
+// excursion — the MPI layer's cheap gate before building per-rank clocks.
+func (in *Injector) HasClockFaults() bool {
+	return in != nil && (len(in.plan.Steps) > 0 || len(in.plan.FreqJumps) > 0)
+}
+
+// FirstClockFaultAt returns the earliest scheduled clock-fault time of world
+// rank (step or rate excursion), or +Inf if its clock stays healthy. The
+// experiment layer uses it as ground truth for detection latency.
+func (in *Injector) FirstClockFaultAt(rank int) float64 {
+	first := math.Inf(1)
+	if in == nil {
+		return first
+	}
+	for _, s := range in.plan.Steps {
+		if s.Rank == rank && s.At < first {
+			first = s.At
+		}
+	}
+	for _, j := range in.plan.FreqJumps {
+		if j.Rank == rank && j.At < first {
+			first = j.At
+		}
+	}
+	return first
 }

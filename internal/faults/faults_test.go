@@ -119,6 +119,116 @@ func TestInjectorCrashViews(t *testing.T) {
 	}
 }
 
+func TestDeriveClockFaultsAppendAfterMessageFaults(t *testing.T) {
+	// Adding clock-fault knobs must not shift the message-fault draws:
+	// configs (and manifest seeds) that predate them stay byte-identical.
+	base := PlanConfig{
+		DropProb: 0.1, NCrashes: 2, CrashFrom: 0.5, CrashTo: 2.5,
+		NEpisodes: 1, EpisodeFrom: 0, EpisodeTo: 1, EpisodeLen: 0.2,
+	}
+	ext := base
+	ext.NSteps, ext.StepFrom, ext.StepTo, ext.StepMin, ext.StepMax = 2, 0.2, 0.4, 1e-3, 2e-3
+	ext.NFreqJumps, ext.FreqFrom, ext.FreqTo, ext.FreqPPM = 1, 0.1, 0.3, 200e-6
+	ext.NByzantine, ext.ByzBias, ext.ByzJitter = 2, 1e-3, 1e-4
+	a, b := base.Derive(16, 42), ext.Derive(16, 42)
+	if !reflect.DeepEqual(a.Crashes, b.Crashes) || !reflect.DeepEqual(a.Episodes, b.Episodes) {
+		t.Fatalf("clock-fault knobs shifted message-fault draws:\n%+v\n%+v", a, b)
+	}
+	if len(b.Steps) != 2 || len(b.FreqJumps) != 1 || len(b.Byz) != 2 {
+		t.Fatalf("wrong clock-fault counts: %+v", b)
+	}
+	for _, s := range b.Steps {
+		if s.Rank < 1 || s.Rank >= 16 {
+			t.Errorf("step targets rank %d; root and out-of-range ranks are excluded", s.Rank)
+		}
+		if s.At < 0.2 || s.At >= 0.4 || s.Delta < 1e-3 || s.Delta >= 2e-3 {
+			t.Errorf("step outside configured ranges: %+v", s)
+		}
+	}
+	for _, j := range b.FreqJumps {
+		if j.Rank < 1 || j.Rank >= 16 || j.PPM != 200e-6 {
+			t.Errorf("bad freq jump: %+v", j)
+		}
+	}
+	for _, bz := range b.Byz {
+		if bz.Rank < 1 || bz.Rank >= 16 || math.Abs(bz.Bias) != 1e-3 {
+			t.Errorf("bad Byzantine entry: %+v", bz)
+		}
+	}
+	if b.ByzJitter != 1e-4 {
+		t.Errorf("ByzJitter = %v, want 1e-4", b.ByzJitter)
+	}
+	if b.Zero() {
+		t.Error("plan with clock faults reports Zero")
+	}
+	// Single-rank worlds have no non-root ranks to fault.
+	if got := ext.Derive(1, 42); len(got.Steps)+len(got.FreqJumps)+len(got.Byz) != 0 {
+		t.Errorf("clock faults derived for a 1-rank world: %+v", got)
+	}
+}
+
+func TestInjectorByzantine(t *testing.T) {
+	in := NewInjector(Plan{Byz: []ByzRank{{Rank: 3, Bias: 1e-3}}, ByzJitter: 1e-4, Seed: 7})
+	if in.IsByzantine(2) || !in.IsByzantine(3) {
+		t.Error("wrong IsByzantine view")
+	}
+	// Honest ranks get readings back untouched.
+	if got := in.PerturbTimestamp(2, 5.5); got != 5.5 {
+		t.Errorf("honest rank perturbed: %v", got)
+	}
+	// Byzantine readings stay within bias ± jitter and are not all equal.
+	seen := map[float64]bool{}
+	for i := 0; i < 64; i++ {
+		got := in.PerturbTimestamp(3, 5.5)
+		if d := got - 5.5; d < 1e-3-1e-4 || d > 1e-3+1e-4 {
+			t.Fatalf("perturbation %v outside bias±jitter", d)
+		}
+		seen[got] = true
+	}
+	if len(seen) < 2 {
+		t.Error("jitter produced constant perturbations")
+	}
+	// Nil injector and nil-safe clock-fault accessors.
+	var nilIn *Injector
+	if nilIn.IsByzantine(0) || nilIn.PerturbTimestamp(0, 1) != 1 {
+		t.Error("nil injector perturbs timestamps")
+	}
+	if nilIn.HasClockFaults() || len(nilIn.ClockSteps(1)) != 0 || len(nilIn.ClockFreqJumps(1)) != 0 {
+		t.Error("nil injector reports clock faults")
+	}
+	if !math.IsInf(nilIn.FirstClockFaultAt(1), 1) {
+		t.Error("nil injector has a first clock-fault time")
+	}
+}
+
+func TestInjectorClockFaultViews(t *testing.T) {
+	in := NewInjector(Plan{
+		Steps:     []ClockStep{{Rank: 2, At: 1.5, Delta: 1e-3}, {Rank: 2, At: 0.5, Delta: -1e-3}},
+		FreqJumps: []FreqJump{{Rank: 5, At: 0.25, PPM: 100e-6}},
+	})
+	if !in.HasClockFaults() {
+		t.Error("HasClockFaults false with scheduled faults")
+	}
+	if got := in.ClockSteps(2); len(got) != 2 {
+		t.Errorf("ClockSteps(2) = %+v, want both steps", got)
+	}
+	if got := in.ClockSteps(5); len(got) != 0 {
+		t.Errorf("ClockSteps(5) = %+v, want none", got)
+	}
+	if got := in.ClockFreqJumps(5); len(got) != 1 || got[0].PPM != 100e-6 {
+		t.Errorf("ClockFreqJumps(5) = %+v", got)
+	}
+	if got := in.FirstClockFaultAt(2); got != 0.5 {
+		t.Errorf("FirstClockFaultAt(2) = %v, want 0.5", got)
+	}
+	if got := in.FirstClockFaultAt(5); got != 0.25 {
+		t.Errorf("FirstClockFaultAt(5) = %v, want 0.25", got)
+	}
+	if !math.IsInf(in.FirstClockFaultAt(7), 1) {
+		t.Error("healthy rank has a finite first clock-fault time")
+	}
+}
+
 func TestDegradeComposesEpisodes(t *testing.T) {
 	in := NewInjector(Plan{Episodes: []Episode{
 		{From: 1, To: 2, Rank: -1, Factor: 2},

@@ -57,6 +57,69 @@ func TestZeroPlanInjectorIsByteIdentical(t *testing.T) {
 	}
 }
 
+// Clock faults fork the targeted rank's clock: the faulted rank sees the
+// step, every other rank — including co-located ranks sharing the domain
+// clock — keeps its healthy readings, and the faulted rank's readings match
+// its healthy fork plus the step after the fault time.
+func TestClockStepScopedToTargetRank(t *testing.T) {
+	const at, delta = 0.5, 2e-3
+	plan := faults.Plan{Steps: []faults.ClockStep{{Rank: 1, At: at, Delta: delta}}}
+	var healthy, faulted [][2]float64
+	probe := func(rec *[][2]float64) func(p *Proc) {
+		return func(p *Proc) {
+			for i := 0; i < 4; i++ {
+				p.Advance(0.3)
+				*rec = append(*rec, [2]float64{float64(p.Rank()), p.HWClock().ReadAt(p.TrueNow())})
+			}
+		}
+	}
+	cfg := Config{Spec: cluster.TestBox(), NProcs: 4, Seed: 17}
+	if err := Run(cfg, probe(&healthy)); err != nil {
+		t.Fatal(err)
+	}
+	if err := runFaulty(4, 17, plan, probe(&faulted)); err != nil {
+		t.Fatal(err)
+	}
+	if len(healthy) != len(faulted) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(healthy), len(faulted))
+	}
+	for i := range healthy {
+		rank, hv := healthy[i][0], healthy[i][1]
+		fv := faulted[i][1]
+		want := hv
+		if rank == 1 && i >= 4 { // rank 1's samples after t=0.5 (first is at 0.3)
+			want += delta
+		}
+		if fv != want {
+			t.Errorf("sample %d (rank %v): got %v, want %v", i, rank, fv, want)
+		}
+	}
+}
+
+// ReadHWClock and HWClockOf must agree with the fork, and a different clock
+// source must stay on the shared healthy clock.
+func TestClockFaultRespectsClockSource(t *testing.T) {
+	plan := faults.Plan{Steps: []faults.ClockStep{{Rank: 1, At: 0, Delta: 1.0}}}
+	err := runFaulty(2, 3, plan, func(p *Proc) {
+		if p.Rank() != 1 {
+			return
+		}
+		p.Advance(0.1)
+		now := p.TrueNow()
+		if p.HWClock() != p.HWClockOf(cluster.Monotonic) {
+			t.Error("default source and explicit Monotonic disagree")
+		}
+		stepped := p.HWClock().ReadAt(now)
+		raw := p.Machine().Clock(1, cluster.Monotonic).ReadAt(now)
+		if d := stepped - raw; d < 0.99 || d > 1.01 {
+			t.Errorf("fork offset %v, want ~1.0 step", d)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRecvTimeoutDelivers(t *testing.T) {
 	err := runFaulty(2, 7, faults.Plan{}, func(p *Proc) {
 		w := p.World()

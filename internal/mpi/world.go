@@ -62,6 +62,15 @@ type World struct {
 	commIDs   map[splitKey]int
 	nextComm  int
 
+	// faultyClocks maps rank → its private disturbed clock when the fault
+	// plan schedules clock steps or rate excursions for it. Domain clocks
+	// are shared between co-located ranks, so the faulted rank gets a
+	// deterministic fork of its clock (same wander stream) with the
+	// disturbances applied — the fault stays scoped to that rank. Empty for
+	// plans without clock faults, so healthy jobs take the shared-clock
+	// path unchanged.
+	faultyClocks map[int]*cluster.HWClock
+
 	// Free lists keep the steady-state messaging path allocation-free:
 	// message structs and pooled float64 payload slices are recycled for
 	// the lifetime of the job.
@@ -130,6 +139,23 @@ func RunOn(env *sim.Env, machine *cluster.Machine, cfg Config, main func(p *Proc
 		lastArr:   make(map[pairKey]*float64),
 		commIDs:   make(map[splitKey]int),
 		nextComm:  1,
+	}
+	if cfg.Faults.HasClockFaults() {
+		w.faultyClocks = make(map[int]*cluster.HWClock)
+		for r := 0; r < cfg.NProcs; r++ {
+			steps, jumps := cfg.Faults.ClockSteps(r), cfg.Faults.ClockFreqJumps(r)
+			if len(steps) == 0 && len(jumps) == 0 {
+				continue
+			}
+			c := machine.Clock(r, cfg.ClockSource).Fork()
+			for _, s := range steps {
+				c.AddStep(s.At, s.Delta)
+			}
+			for _, j := range jumps {
+				c.AddFreqJump(j.At, j.PPM)
+			}
+			w.faultyClocks[r] = c
+		}
 	}
 	ranks := make([]int, cfg.NProcs)
 	for i := range ranks {
@@ -211,13 +237,24 @@ func (p *Proc) maybeCrash() {
 func (p *Proc) Faults() *faults.Injector { return p.world.cfg.Faults }
 
 // HWClock returns the hardware clock this rank reads under the job's
-// configured clock source.
+// configured clock source. A rank with scheduled clock faults reads its
+// private disturbed fork instead of the shared domain clock.
 func (p *Proc) HWClock() *cluster.HWClock {
+	if c, ok := p.world.faultyClocks[p.rank]; ok {
+		return c
+	}
 	return p.world.machine.Clock(p.rank, p.world.cfg.ClockSource)
 }
 
 // HWClockOf returns this rank's hardware clock for an explicit source.
+// Clock-fault forks apply only to the job's configured source — the one the
+// sync algorithms under test actually read.
 func (p *Proc) HWClockOf(src cluster.ClockSource) *cluster.HWClock {
+	if src == p.world.cfg.ClockSource {
+		if c, ok := p.world.faultyClocks[p.rank]; ok {
+			return c
+		}
+	}
 	return p.world.machine.Clock(p.rank, src)
 }
 

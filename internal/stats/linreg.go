@@ -61,3 +61,62 @@ func FitLinear(xs, ys []float64) LinReg {
 
 // At evaluates the regression at x.
 func (l LinReg) At(x float64) float64 { return l.Slope*x + l.Intercept }
+
+// FitTheilSen fits y = slope*x + intercept with the Theil–Sen estimator:
+// slope = median of all pairwise slopes (y_j−y_i)/(x_j−x_i), intercept =
+// median of y_i − slope·x_i. The breakdown point is ~29%: up to that
+// fraction of arbitrarily corrupted points (a clock step mid-window, a
+// Byzantine server's biased timestamps) leaves the fit near the majority
+// trend, where least squares is steered by a single outlier.
+//
+// Pairs with duplicate x are skipped; if every pair is degenerate (all x
+// equal) the fit falls back to a horizontal line through the median of ys,
+// mirroring FitLinear's zero-variance fallback. R2 is computed against the
+// robust fit's residuals (1 − SSR/SST), clamped to [0,1]; it is reported
+// for diagnostics only. Cost is O(n²) time and memory — callers fitting
+// large windows should thin first.
+func FitTheilSen(xs, ys []float64) LinReg {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	if n == 0 {
+		return LinReg{Intercept: math.NaN()}
+	}
+	if n == 1 {
+		return LinReg{Intercept: ys[0], N: 1}
+	}
+	slopes := make([]float64, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if dx := xs[j] - xs[i]; dx != 0 {
+				slopes = append(slopes, (ys[j]-ys[i])/dx)
+			}
+		}
+	}
+	if len(slopes) == 0 {
+		return LinReg{Intercept: Median(ys[:n]), N: n}
+	}
+	slope := Median(slopes)
+	resid := make([]float64, n)
+	for i := 0; i < n; i++ {
+		resid[i] = ys[i] - slope*xs[i]
+	}
+	intercept := Median(resid)
+	my := Mean(ys[:n])
+	var ssr, sst float64
+	for i := 0; i < n; i++ {
+		e := ys[i] - (slope*xs[i] + intercept)
+		d := ys[i] - my
+		ssr += e * e
+		sst += d * d
+	}
+	r2 := 1.0
+	if sst > 0 {
+		r2 = 1 - ssr/sst
+		if r2 < 0 {
+			r2 = 0
+		}
+	}
+	return LinReg{Slope: slope, Intercept: intercept, R2: r2, N: n}
+}

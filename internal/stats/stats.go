@@ -103,6 +103,22 @@ func MedianIndex(xs []float64) int {
 	return idx[(len(xs)-1)/2]
 }
 
+// MAD returns the median absolute deviation of xs — the robust scale
+// estimate median(|x - median(xs)|) — or NaN for empty input. It is left
+// unscaled (no 1.4826 normal-consistency factor); callers thresholding at
+// k·MAD choose k accordingly. xs is not modified.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	med := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return Median(dev)
+}
+
 // Quantile returns the q-quantile of xs (0 <= q <= 1) with linear
 // interpolation. xs is not modified.
 func Quantile(xs []float64, q float64) float64 {

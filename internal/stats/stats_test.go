@@ -97,6 +97,113 @@ func TestFitLinearDegenerate(t *testing.T) {
 	}
 }
 
+func TestMAD(t *testing.T) {
+	// median = 3, deviations {2,1,0,1,2} → MAD = 1.
+	if got := MAD([]float64{1, 2, 3, 4, 5}); !almost(got, 1, 1e-12) {
+		t.Errorf("MAD = %v, want 1", got)
+	}
+	// A wild outlier moves the mean/stddev but barely moves the MAD.
+	if got := MAD([]float64{1, 2, 3, 4, 1e9}); !almost(got, 1, 1e-12) {
+		t.Errorf("MAD with outlier = %v, want 1", got)
+	}
+	if got := MAD([]float64{7}); got != 0 {
+		t.Errorf("single-sample MAD = %v, want 0", got)
+	}
+	if !math.IsNaN(MAD(nil)) {
+		t.Error("empty MAD should be NaN")
+	}
+	xs := []float64{5, 1, 4}
+	MAD(xs)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 4 {
+		t.Errorf("input modified: %v", xs)
+	}
+}
+
+func TestFitTheilSenExactAndDegenerate(t *testing.T) {
+	l := FitTheilSen([]float64{0, 1, 2, 3}, []float64{1, 3, 5, 7}) // y = 2x+1
+	if !almost(l.Slope, 2, 1e-12) || !almost(l.Intercept, 1, 1e-12) || !almost(l.R2, 1, 1e-12) {
+		t.Errorf("exact fit = %+v", l)
+	}
+	if l := FitTheilSen(nil, nil); !math.IsNaN(l.Intercept) {
+		t.Error("empty fit should be NaN intercept")
+	}
+	if l := FitTheilSen([]float64{5}, []float64{7}); l.Slope != 0 || l.Intercept != 7 {
+		t.Errorf("single-point fit = %+v", l)
+	}
+	// All x equal: horizontal through the median of y, like FitLinear.
+	l = FitTheilSen([]float64{2, 2, 2}, []float64{1, 5, 100})
+	if l.Slope != 0 || !almost(l.Intercept, 5, 1e-12) {
+		t.Errorf("constant-x fit = %+v", l)
+	}
+	// Partial duplicates: degenerate pairs are skipped, not poisoning.
+	l = FitTheilSen([]float64{0, 0, 1, 2}, []float64{1, 1, 3, 5})
+	if !almost(l.Slope, 2, 1e-12) || !almost(l.Intercept, 1, 1e-12) {
+		t.Errorf("duplicate-x fit = %+v", l)
+	}
+}
+
+func TestFitTheilSenResistsOutliers(t *testing.T) {
+	// y = 2x+1 with ~25% of points replaced by a clock-step-like jump.
+	var xs, ys []float64
+	for i := 0; i < 20; i++ {
+		x := float64(i)
+		y := 2*x + 1
+		if i >= 15 {
+			y += 1e3 // the last quarter stepped away
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	robust := FitTheilSen(xs, ys)
+	if !almost(robust.Slope, 2, 0.2) || !almost(robust.Intercept, 1, 2) {
+		t.Errorf("Theil–Sen steered by outliers: %+v", robust)
+	}
+	ls := FitLinear(xs, ys)
+	if math.Abs(ls.Slope-2) < 10 {
+		t.Errorf("expected least squares to be steered (slope %v), test premise broken", ls.Slope)
+	}
+}
+
+func TestFitTheilSenStableAtClockMagnitudes(t *testing.T) {
+	const slope = 1.3e-6
+	const intercept = -0.05
+	rng := rand.New(rand.NewSource(1))
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := 4e4 + float64(i)*0.01
+		xs = append(xs, x)
+		ys = append(ys, slope*x+intercept+rng.NormFloat64()*1e-8)
+	}
+	l := FitTheilSen(xs, ys)
+	if !almost(l.Slope, slope, 1e-8) {
+		t.Errorf("slope = %v, want %v", l.Slope, slope)
+	}
+	if !almost(l.At(4e4), slope*4e4+intercept, 1e-7) {
+		t.Errorf("At(4e4) = %v, want %v", l.At(4e4), slope*4e4+intercept)
+	}
+}
+
+// Property: Theil–Sen recovers exact affine data like least squares does.
+func TestFitTheilSenRecoversAffineProperty(t *testing.T) {
+	f := func(a8, b8 int8, n8 uint8) bool {
+		a := float64(a8) / 16
+		b := float64(b8)
+		n := int(n8%20) + 2
+		var xs, ys []float64
+		for i := 0; i < n; i++ {
+			x := float64(i) * 0.5
+			xs = append(xs, x)
+			ys = append(ys, a*x+b)
+		}
+		l := FitTheilSen(xs, ys)
+		return almost(l.Slope, a, 1e-9*(1+math.Abs(a))) &&
+			almost(l.Intercept, b, 1e-9*(1+math.Abs(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestFitLinearNumericallyStableAtClockMagnitudes(t *testing.T) {
 	// x around 4e4 seconds, residual signal in microseconds: the exact
 	// regime of clock-offset fitting.

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# benchdiff.sh — compare two `go test -bench` output files.
+# benchdiff.sh — compare two `go test -bench` output files and FAIL on
+# regression.
 #
 # Usage:
 #   go test -run '^$' -bench 'BenchmarkSim|BenchmarkHCA3|BenchmarkLinearFit' \
@@ -9,11 +10,18 @@
 #       -benchmem -count 10 . > new.txt
 #   scripts/benchdiff.sh old.txt new.txt
 #
+# Exit status: 0 when no benchmark's ns/op regressed by more than the
+# threshold (default 10%, override with BENCHDIFF_MAX_REGRESSION_PCT),
+# 1 when at least one did — so CI can gate on `scripts/benchdiff.sh base
+# head`. The gate compares the per-benchmark *minimum* ns/op across the
+# -count repetitions in each file: the minimum is the least noise-polluted
+# estimate of the true cost, which keeps single-outlier iterations from
+# tripping the gate.
+#
 # With benchstat on PATH (go install golang.org/x/perf/cmd/benchstat@latest)
-# the comparison is statistically sound (use -count >= 10 for that). Without
-# it, the script falls back to a plain per-benchmark delta table over the
-# first sample of each benchmark — fine for spotting the big moves, not for
-# claiming small ones.
+# a statistically sound comparison table is printed as well (use
+# -count >= 10 for that); the pass/fail decision is always the min-based
+# gate, so the exit code does not depend on optional tooling.
 set -euo pipefail
 
 if [ $# -ne 2 ]; then
@@ -22,39 +30,55 @@ if [ $# -ne 2 ]; then
 fi
 old=$1
 new=$2
+threshold=${BENCHDIFF_MAX_REGRESSION_PCT:-10}
 
 if command -v benchstat >/dev/null 2>&1; then
-    exec benchstat "$old" "$new"
+    benchstat "$old" "$new" || true
+    echo
+else
+    echo "benchdiff: benchstat not found, showing min-sample deltas only" >&2
+    echo "benchdiff: (go install golang.org/x/perf/cmd/benchstat@latest for real statistics)" >&2
 fi
 
-echo "benchdiff: benchstat not found, falling back to single-sample deltas" >&2
-echo "benchdiff: (go install golang.org/x/perf/cmd/benchstat@latest for real statistics)" >&2
-
-awk '
+awk -v threshold="$threshold" '
 function keep(name) { sub(/-[0-9]+$/, "", name); return name }
 FNR == 1 { file++ }
 /^Benchmark/ {
     name = keep($1)
     if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
-    # fields: name iters v1 u1 v2 u2 ... — pick ns/op and allocs/op.
+    # fields: name iters v1 u1 v2 u2 ... — pick ns/op and allocs/op,
+    # keeping the per-file minimum across -count repetitions.
     for (i = 3; i < NF; i += 2) {
-        if ($(i+1) == "ns/op" && !((file, name, "ns") in got)) {
-            val[file, name, "ns"] = $i; got[file, name, "ns"] = 1
+        if ($(i+1) == "ns/op") {
+            if (!((file, name, "ns") in got) || $i + 0 < val[file, name, "ns"]) {
+                val[file, name, "ns"] = $i + 0; got[file, name, "ns"] = 1
+            }
         }
-        if ($(i+1) == "allocs/op" && !((file, name, "al") in got)) {
-            val[file, name, "al"] = $i; got[file, name, "al"] = 1
+        if ($(i+1) == "allocs/op") {
+            if (!((file, name, "al") in got) || $i + 0 < val[file, name, "al"]) {
+                val[file, name, "al"] = $i + 0; got[file, name, "al"] = 1
+            }
         }
     }
 }
 END {
     printf "%-55s %12s %12s %8s %10s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs"
+    bad = 0
     for (i = 1; i <= n; i++) {
         name = order[i]
         if (!((1, name, "ns") in val) || !((2, name, "ns") in val)) continue
         o = val[1, name, "ns"]; w = val[2, name, "ns"]
-        d = (o > 0) ? sprintf("%+.1f%%", 100 * (w - o) / o) : "n/a"
+        pct = (o > 0) ? 100 * (w - o) / o : 0
+        d = (o > 0) ? sprintf("%+.1f%%", pct) : "n/a"
         oa = ((1, name, "al") in val) ? val[1, name, "al"] : "-"
         wa = ((2, name, "al") in val) ? val[2, name, "al"] : "-"
-        printf "%-55s %12.0f %12.0f %8s %10s %10s\n", name, o, w, d, oa, wa
+        flag = ""
+        if (o > 0 && pct > threshold) { flag = "  << REGRESSION"; bad++ }
+        printf "%-55s %12.0f %12.0f %8s %10s %10s%s\n", name, o, w, d, oa, wa, flag
     }
+    if (bad > 0) {
+        printf "\nbenchdiff: FAIL — %d benchmark(s) regressed more than %s%% (ns/op, min over samples)\n", bad, threshold
+        exit 1
+    }
+    printf "\nbenchdiff: OK — no benchmark regressed more than %s%%\n", threshold
 }' "$old" "$new"
