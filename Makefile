@@ -5,7 +5,12 @@ GO ?= go
 # BENCH_sim.json, the perf trajectory future PRs regress against.
 SUBSTRATE_BENCH = BenchmarkSim|BenchmarkHCA3Sync|BenchmarkLinearFit
 
-.PHONY: all build vet test race fuzz check clean bench bench-smoke
+# Pinned third-party linter versions. CI installs exactly these; locally
+# they run only when already on PATH (this repo must build offline).
+STATICCHECK_VERSION = 2024.1.1
+GOVULNCHECK_VERSION = v1.1.3
+
+.PHONY: all build vet test race fuzz check clean bench bench-smoke lint
 
 all: check
 
@@ -32,8 +37,27 @@ fuzz:
 	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzHWClockDisturbed -fuzztime 10s
 	$(GO) test ./internal/clocksync -run '^$$' -fuzz 'FuzzFitOffsetSamples$$' -fuzztime 10s
 	$(GO) test ./internal/clocksync -run '^$$' -fuzz FuzzFitOffsetSamplesRobust -fuzztime 10s
+	$(GO) test ./internal/analysis -run '^$$' -fuzz FuzzParseDirective -fuzztime 10s
 
-check: build vet test race
+# The repository's own multichecker (determinism, seed flow, allocfree
+# hot path, MPI error discards, //synclint: grammar), then the pinned
+# third-party linters when available. CI installs staticcheck and
+# govulncheck at the pinned versions; offline checkouts skip them with a
+# note rather than failing.
+lint:
+	$(GO) run ./cmd/synclint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not on PATH (CI pins $(STATICCHECK_VERSION)); skipping"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not on PATH (CI pins $(GOVULNCHECK_VERSION)); skipping"; \
+	fi
+
+check: build vet lint test race
 
 # Full substrate bench sweep with allocation stats; writes BENCH_sim.json.
 # Compare two runs with scripts/benchdiff.sh.

@@ -77,7 +77,7 @@ func main() {
 		}
 	}
 	quietly := *quiet
-	start := time.Now()
+	start := time.Now() //synclint:wallclock -- wall-time telemetry for the manifest; never hashed
 
 	r.section("table1", "Table I — machines", func(w io.Writer) error {
 		experiments.Table1(w)
@@ -175,7 +175,7 @@ func main() {
 		r.writeManifest(start)
 	}
 	fmt.Fprintf(os.Stderr, "allfigs: all experiments completed in %v\n",
-		time.Since(start).Round(time.Millisecond))
+		time.Since(start).Round(time.Millisecond)) //synclint:wallclock -- progress message on stderr only
 }
 
 func (r *runner) runAblations(quiet bool) {
@@ -243,11 +243,11 @@ func (r *runner) runExtensions(quiet bool) {
 // to stderr so section outputs stay byte-comparable across runs.
 func (r *runner) timed(name string, quiet bool, fn func() error) {
 	before := len(r.eng.Manifests())
-	start := time.Now()
+	start := time.Now() //synclint:wallclock -- per-section wall-time telemetry; never hashed
 	if err := fn(); err != nil {
 		fail(name, err)
 	}
-	sec := benchSection{Name: name, WallSec: time.Since(start).Seconds()}
+	sec := benchSection{Name: name, WallSec: time.Since(start).Seconds()} //synclint:wallclock -- wall-time telemetry; never hashed
 	for _, m := range r.eng.Manifests()[before:] {
 		sec.Sims += m.Sims
 		sec.CacheHits += m.CacheHits
@@ -279,7 +279,7 @@ func (r *runner) writeBench(start time.Time) {
 		Sections []benchSection `json:"sections"`
 	}{
 		Tool: "allfigs", Version: harness.CodeVersion(), Jobs: r.eng.Jobs(),
-		WallSec: time.Since(start).Seconds(), Sections: r.bench,
+		WallSec: time.Since(start).Seconds(), Sections: r.bench, //synclint:wallclock -- wall-time telemetry; never hashed
 	}
 	for _, s := range r.bench {
 		total.Sims += s.Sims

@@ -239,7 +239,7 @@ func main() {
 			s, ok := byName[strings.TrimSpace(name)]
 			if !ok {
 				var known []string
-				for n := range byName {
+				for n := range byName { //synclint:ordered -- keys collected then sorted below
 					known = append(known, n)
 				}
 				sort.Strings(known)
@@ -261,7 +261,7 @@ func main() {
 		opts.Reporter = harness.NewProgressReporter(os.Stderr)
 	}
 	eng := harness.New(opts)
-	start := time.Now()
+	start := time.Now() //synclint:wallclock -- wall-time telemetry for the manifest; never hashed
 
 	for _, s := range selected {
 		res, err := s.run(eng, *scale == "tiny", *seed)
@@ -286,8 +286,10 @@ func main() {
 			fail(err)
 		}
 	}
-	fmt.Printf("\nrunexp: %d sims in %v, %d served from cache (%.0f%% hit rate)\n",
-		m.Sims, time.Since(start).Round(time.Millisecond), m.CacheHits, 100*m.HitRate())
+	// On stderr, like every timing line: stdout must stay byte-comparable
+	// across runs and job counts.
+	fmt.Fprintf(os.Stderr, "\nrunexp: %d sims in %v, %d served from cache (%.0f%% hit rate)\n",
+		m.Sims, time.Since(start).Round(time.Millisecond), m.CacheHits, 100*m.HitRate()) //synclint:wallclock -- progress message on stderr only
 }
 
 func fail(err error) {

@@ -1,0 +1,67 @@
+// Command synclint is the repository's multichecker: it runs the custom
+// analyzers under internal/analysis/... over the given package patterns
+// and exits non-zero on any finding. It guards the two invariants the
+// test suite can only falsify after the fact — deterministic,
+// byte-identical outputs (nondeterm, seedflow) and the allocation-free
+// sim/MPI hot path (allocfree) — plus silent discards of fallible MPI
+// results (mpierr) and the //synclint: annotation grammar itself
+// (synclintdir).
+//
+// Usage:
+//
+//	go run ./cmd/synclint ./...          # whole repository (what make lint runs)
+//	go run ./cmd/synclint ./internal/sim # one package
+//	go run ./cmd/synclint -list          # describe the analyzers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hclocksync/internal/analysis"
+	"hclocksync/internal/analysis/registry"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: synclint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := registry.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "synclint: %v\n", err)
+		os.Exit(2)
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synclint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "synclint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}

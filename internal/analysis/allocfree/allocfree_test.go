@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"hclocksync/internal/analysis/allocfree"
+	"hclocksync/internal/analysis/analysistest"
+)
+
+func TestAllocfree(t *testing.T) {
+	analysistest.Run(t, allocfree.Analyzer, "a")
+}

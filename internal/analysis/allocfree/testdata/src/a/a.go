@@ -1,0 +1,109 @@
+// Package a is the allocfree fixture. Only functions annotated
+// //synclint:allocfree are checked; each marked line demonstrates one
+// heap-allocating construct the analyzer rejects, and the escape-hatch
+// lines demonstrate the audited form.
+package a
+
+import "fmt"
+
+type pool struct {
+	buf  []int
+	free map[int]*pool
+}
+
+//synclint:allocfree
+func builtins(p *pool, n int) {
+	s := make([]int, n) // want `make allocates`
+	_ = s
+	q := new(pool) // want `new allocates`
+	_ = q
+	p.buf = append(p.buf, n) // want `append may grow its backing array`
+}
+
+//synclint:allocfree
+func audited(p *pool, n int) {
+	p.buf = append(p.buf, n) //synclint:alloc -- fixture: amortized growth
+	//synclint:alloc -- fixture: warm-up on the line below
+	s := make([]int, n)
+	_ = s
+}
+
+//synclint:allocfree
+func literals(n int) *pool {
+	xs := []int{1, 2, n} // want `slice literal allocates`
+	_ = xs
+	m := map[int]int{} // want `map literal allocates`
+	_ = m
+	return &pool{} // want `address-taken composite literal escapes`
+}
+
+//synclint:allocfree
+func valueLiterals() pool {
+	return pool{} // struct value, no heap: never flagged
+}
+
+//synclint:allocfree
+func closures(n int) func() int {
+	f := func() int { return n } // want `closure allocates`
+	return f
+}
+
+//synclint:allocfree
+func concurrency(ch chan int) {
+	go drain(ch) // want `go statement allocates`
+	defer close(ch) // want `defer may allocate`
+}
+
+//synclint:allocfree
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+//synclint:allocfree
+func sink(v any) { _ = v }
+
+//synclint:allocfree
+func boxing(x int, p *pool, v any) {
+	sink(x) // want `converting int to interface`
+	sink(p)    // pointers are interface-shaped: no allocation
+	sink(v)    // interface to interface: no allocation
+	sink(3)    // constants box into static data: no allocation
+	var dst any = x // want `converting int to interface`
+	_ = dst
+}
+
+//synclint:allocfree
+func boxedReturn(x int) any {
+	return x // want `converting int to interface`
+}
+
+//synclint:allocfree
+func strs(a, b string, bs []byte) string {
+	s := string(bs) // want `string/\[\]byte conversion copies`
+	_ = s
+	return a + b // want `string concatenation allocates`
+}
+
+//synclint:allocfree
+func maps(p *pool, k int) {
+	p.free[k] = p // want `map assignment may allocate`
+}
+
+//synclint:allocfree
+func formats(n int) {
+	fmt.Println(n) // want `call to fmt.Println allocates`
+}
+
+func unannotatedHelper() {}
+
+//synclint:allocfree
+func propagation() {
+	unannotatedHelper() // want `call to unannotatedHelper, which is not annotated`
+	sink(nil) // annotated callee, nil arg: fine
+}
+
+// unchecked is NOT annotated: nothing in it is flagged.
+func unchecked(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,12 @@
+package mpierr_test
+
+import (
+	"testing"
+
+	"hclocksync/internal/analysis/analysistest"
+	"hclocksync/internal/analysis/mpierr"
+)
+
+func TestMpierr(t *testing.T) {
+	analysistest.Run(t, mpierr.Analyzer, "a")
+}

@@ -1,0 +1,60 @@
+// Package a is the nondeterm fixture: each marked line demonstrates one
+// violation pattern (wall-clock reads, global math/rand, unordered map
+// ranges) and the unmarked lines demonstrate the audited escapes.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now() // want `wall-clock call time.Now`
+	time.Sleep(time.Millisecond) // want `wall-clock call time.Sleep`
+	return time.Since(t0) // want `wall-clock call time.Since`
+}
+
+func timers() {
+	_ = time.After(time.Second) // want `wall-clock call time.After`
+	_ = time.NewTicker(time.Second) // want `wall-clock call time.NewTicker`
+}
+
+func auditedWallClock() time.Time {
+	start := time.Now() //synclint:wallclock -- fixture: telemetry only
+	_ = start
+	//synclint:wallclock -- fixture: directive on the line above also covers
+	return time.Now()
+}
+
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand.Shuffle`
+	return rand.Intn(10) // want `global math/rand.Intn`
+}
+
+func seededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // explicit source: fine here
+	return rng.Float64()                  // method on *rand.Rand: fine
+}
+
+func mapOrder(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `range over map m iterates in randomized order`
+		sum += v
+	}
+	for k := range m { //synclint:ordered -- fixture: keys collected then sorted
+		_ = k
+	}
+	//synclint:ordered -- fixture: order-insensitive accumulation
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func sliceOrder(xs []int) int { // ranging a slice is ordered: never flagged
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}

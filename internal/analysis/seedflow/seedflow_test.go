@@ -1,0 +1,12 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"hclocksync/internal/analysis/analysistest"
+	"hclocksync/internal/analysis/seedflow"
+)
+
+func TestSeedflow(t *testing.T) {
+	analysistest.Run(t, seedflow.Analyzer, "a")
+}

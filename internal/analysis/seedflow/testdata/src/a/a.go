@@ -1,0 +1,36 @@
+// Package a is the seedflow fixture: RNG constructions seeded from
+// constants or the wall clock are violations; runtime-valued seeds (which
+// the harness derives through SHA-256) and audited escapes pass.
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func constantSeeds() {
+	_ = rand.NewSource(42) // want `NewSource seeded with constant 42`
+	_ = rand.New(rand.NewSource(40 + 2)) // want `NewSource seeded with constant 42`
+	const base = int64(7)
+	_ = rand.NewSource(base * 3) // want `NewSource seeded with constant 21`
+}
+
+func wallClockSeeds() {
+	_ = rand.NewSource(time.Now().UnixNano()) // want `NewSource seeded from the wall clock`
+	_ = rand.NewSource(int64(time.Since(time.Unix(0, 0)))) // want `NewSource seeded from the wall clock`
+}
+
+func v2ConstantSeeds() {
+	_ = randv2.NewPCG(1, 2) // want `NewPCG seeded with constant 1` `NewPCG seeded with constant 2`
+}
+
+func derived(seed int64) *rand.Rand {
+	_ = rand.NewSource(seed ^ 0x5FAE1755)      // stream split of a runtime seed: fine
+	_ = randv2.NewPCG(uint64(seed), uint64(seed>>1)) // runtime seeds: fine
+	return rand.New(rand.NewSource(seed))
+}
+
+func audited() {
+	_ = rand.NewSource(1) //synclint:seedok -- fixture: audited fixed stream
+}

@@ -149,7 +149,7 @@ func hcaAdjustIntercepts(comm *mpi.Comm, p Params, g clock.Clock) clock.Clock {
 // ascending rank order, keeping the wire layout deterministic.
 func modelTable(models map[int]clock.LinearModel) []float64 {
 	ranks := make([]int, 0, len(models))
-	for rank := range models {
+	for rank := range models { //synclint:ordered -- keys collected then sorted below
 		ranks = append(ranks, rank)
 	}
 	sort.Ints(ranks)

@@ -243,7 +243,7 @@ func evaluateCorrections(cfg TraceCorrectionConfig, models map[int]*rankModels,
 		byIter[s.Iter] = append(byIter[s.Iter], s)
 	}
 	iters := make([]int, 0, len(byIter))
-	for it := range byIter {
+	for it := range byIter { //synclint:ordered -- keys collected then sorted below
 		iters = append(iters, it)
 	}
 	sort.Ints(iters)

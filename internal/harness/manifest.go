@@ -66,7 +66,7 @@ func NewRunManifest(tool string, e *Engine, started time.Time, suites []*Manifes
 		Version: e.version,
 		Jobs:    e.jobs,
 		Started: started,
-		WallSec: time.Since(started).Seconds(),
+		WallSec: time.Since(started).Seconds(), //synclint:wallclock -- wall-time telemetry; excluded from cache keys and hashes
 		Suites:  suites,
 	}
 	if e.cache != nil {

@@ -47,7 +47,7 @@ func (p *progressReporter) Start(suite string, total int) {
 func (p *progressReporter) Done(suite string, rec TaskRecord, done, total int, elapsed time.Duration) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	now := time.Now()
+	now := time.Now() //synclint:wallclock -- throttles stderr progress output only
 	if done < total && now.Sub(p.last) < p.interval {
 		return
 	}

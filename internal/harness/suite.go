@@ -44,7 +44,7 @@ func Run[R any](e *Engine, suite string, baseSeed int64, tasks []Task[R]) ([]R, 
 	errs := make([]error, n)
 	recs := make([]TaskRecord, n)
 
-	started := time.Now()
+	started := time.Now() //synclint:wallclock -- wall-time telemetry for the manifest; never hashed
 	e.reporter.Start(suite, n)
 
 	var failed atomic.Bool
@@ -64,7 +64,7 @@ func Run[R any](e *Engine, suite string, baseSeed int64, tasks []Task[R]) ([]R, 
 		if cfg, err := json.Marshal(t.Config); err == nil {
 			rec.Config = cfg
 		}
-		t0 := time.Now()
+		t0 := time.Now() //synclint:wallclock -- per-task wall-time telemetry; never hashed
 
 		key, kerr := CacheKey(e.version, suite, name, seed, t.Config)
 		if kerr != nil {
@@ -87,9 +87,9 @@ func Run[R any](e *Engine, suite string, baseSeed int64, tasks []Task[R]) ([]R, 
 				}
 			}
 		}
-		rec.WallSec = time.Since(t0).Seconds()
+		rec.WallSec = time.Since(t0).Seconds() //synclint:wallclock -- per-task wall-time telemetry; never hashed
 		recs[i] = rec
-		e.reporter.Done(suite, rec, int(done.Add(1)), n, time.Since(started))
+		e.reporter.Done(suite, rec, int(done.Add(1)), n, time.Since(started)) //synclint:wallclock -- progress reporting only
 	}
 
 	workers := e.jobs
@@ -131,7 +131,7 @@ func Run[R any](e *Engine, suite string, baseSeed int64, tasks []Task[R]) ([]R, 
 		Jobs:     e.jobs,
 		BaseSeed: baseSeed,
 		Started:  started,
-		WallSec:  time.Since(started).Seconds(),
+		WallSec:  time.Since(started).Seconds(), //synclint:wallclock -- wall-time telemetry; never hashed
 		Sims:     n,
 		Tasks:    recs,
 	}

@@ -46,9 +46,11 @@ func BarrierAlgs() []BarrierAlg {
 
 // Barrier blocks until all ranks of the communicator have entered it, using
 // the job's configured default algorithm.
+//synclint:allocfree
 func (c *Comm) Barrier() { c.BarrierWith(c.p.world.cfg.Barrier) }
 
 // BarrierWith runs a barrier with an explicit algorithm.
+//synclint:allocfree
 func (c *Comm) BarrierWith(alg BarrierAlg) {
 	tag := c.nextTag(kindBarrier)
 	if c.Size() == 1 {
@@ -66,12 +68,13 @@ func (c *Comm) BarrierWith(alg BarrierAlg) {
 	case BarrierDoubleRing:
 		c.barrierDoubleRing(tag)
 	default:
-		panic(fmt.Sprintf("mpi: unknown barrier algorithm %d", int(alg)))
+		panic(fmt.Sprintf("mpi: unknown barrier algorithm %d", int(alg))) //synclint:alloc -- cold: invalid-algorithm panic
 	}
 }
 
 var empty = []byte{}
 
+//synclint:allocfree
 func (c *Comm) barrierLinear(tag int) {
 	n := c.Size()
 	if c.rank == 0 {
@@ -88,6 +91,7 @@ func (c *Comm) barrierLinear(tag int) {
 }
 
 // barrierTree: binomial fan-in to rank 0, then binomial fan-out.
+//synclint:allocfree
 func (c *Comm) barrierTree(tag int) {
 	n := c.Size()
 	r := c.rank
@@ -107,6 +111,7 @@ func (c *Comm) barrierTree(tag int) {
 
 // binomialRelease broadcasts a zero-byte release along a binomial tree
 // rooted at root.
+//synclint:allocfree
 func (c *Comm) binomialRelease(tag, root int) {
 	n := c.Size()
 	vr := (c.rank - root + n) % n // virtual rank with root at 0
@@ -140,6 +145,7 @@ func (c *Comm) binomialRelease(tag, root int) {
 	}
 }
 
+//synclint:allocfree
 func (c *Comm) barrierRecDoubling(tag int) {
 	n := c.Size()
 	r := c.rank
@@ -169,6 +175,7 @@ func (c *Comm) barrierRecDoubling(tag int) {
 	}
 }
 
+//synclint:allocfree
 func (c *Comm) barrierDissemination(tag int) {
 	n := c.Size()
 	r := c.rank
@@ -183,6 +190,7 @@ func (c *Comm) barrierDissemination(tag int) {
 // barrierDoubleRing circulates a token from rank 0 around the ring twice;
 // the first pass establishes that everyone arrived, the second releases.
 // The paper notes this algorithm has by far the largest exit imbalance.
+//synclint:allocfree
 func (c *Comm) barrierDoubleRing(tag int) {
 	n := c.Size()
 	r := c.rank

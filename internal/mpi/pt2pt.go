@@ -52,6 +52,7 @@ type message struct {
 
 // newMsg takes a recycled message off the free list, or allocates the
 // pool's next entry.
+//synclint:allocfree
 func (w *World) newMsg() *message {
 	if n := len(w.msgFree); n > 0 {
 		m := w.msgFree[n-1]
@@ -59,18 +60,20 @@ func (w *World) newMsg() *message {
 		w.msgFree = w.msgFree[:n-1]
 		return m
 	}
-	return &message{}
+	return &message{} //synclint:alloc -- pool miss: grows the free list once per high-water mark
 }
 
 // freeMsg zeroes m (dropping its payload and sender references) and
 // returns it to the free list. Callers must extract or release pooled
 // payloads (fv) first.
+//synclint:allocfree
 func (w *World) freeMsg(m *message) {
 	*m = message{}
-	w.msgFree = append(w.msgFree, m)
+	w.msgFree = append(w.msgFree, m) //synclint:alloc -- pool free list: amortized growth to the high-water mark
 }
 
 // getF64s returns a pooled []float64 of length n.
+//synclint:allocfree
 func (w *World) getF64s(n int) []float64 {
 	if k := len(w.f64Free); k > 0 {
 		s := w.f64Free[k-1]
@@ -80,25 +83,27 @@ func (w *World) getF64s(n int) []float64 {
 			return s[:n]
 		}
 	}
-	return make([]float64, n)
+	return make([]float64, n) //synclint:alloc -- pool miss: fresh vector, recycled via putF64s
 }
 
 // putF64s returns a slice obtained from getF64s to the pool.
+//synclint:allocfree
 func (w *World) putF64s(s []float64) {
-	w.f64Free = append(w.f64Free, s)
+	w.f64Free = append(w.f64Free, s) //synclint:alloc -- pool free list: amortized growth to the high-water mark
 }
 
 // bytes materializes a message's payload as a byte slice (allocating for
 // the non-bytes kinds, which only happens when a typed send meets an
 // untyped Recv) and releases any pooled payload.
+//synclint:allocfree
 func (w *World) bytes(m *message) []byte {
 	switch m.kind {
 	case msgF64:
-		b := make([]byte, 8)
+		b := make([]byte, 8) //synclint:alloc -- cold: typed send met an untyped Recv
 		binary.LittleEndian.PutUint64(b, math.Float64bits(m.v))
 		return b
 	case msgF64s:
-		b := EncodeF64s(m.fv)
+		b := EncodeF64s(m.fv) //synclint:alloc -- cold: typed send met an untyped Recv
 		w.putF64s(m.fv)
 		m.fv = nil
 		return b
@@ -116,9 +121,10 @@ type mailbox struct {
 	waiter *Proc
 }
 
+//synclint:allocfree
 func (mb *mailbox) push(m *message) {
 	if mb.n == len(mb.buf) {
-		grown := make([]*message, max(4, 2*len(mb.buf)))
+		grown := make([]*message, max(4, 2*len(mb.buf))) //synclint:alloc -- ring growth: amortized to the deepest backlog
 		for i := 0; i < mb.n; i++ {
 			grown[i] = mb.buf[(mb.head+i)%len(mb.buf)]
 		}
@@ -129,8 +135,10 @@ func (mb *mailbox) push(m *message) {
 	mb.n++
 }
 
+//synclint:allocfree
 func (mb *mailbox) front() *message { return mb.buf[mb.head] }
 
+//synclint:allocfree
 func (mb *mailbox) pop() *message {
 	m := mb.buf[mb.head]
 	mb.buf[mb.head] = nil // do not pin the message past its delivery
@@ -139,11 +147,12 @@ func (mb *mailbox) pop() *message {
 	return m
 }
 
+//synclint:allocfree
 func (w *World) mailbox(k mbKey) *mailbox {
 	mb := w.mailboxes[k]
 	if mb == nil {
-		mb = &mailbox{}
-		w.mailboxes[k] = mb
+		mb = &mailbox{} //synclint:alloc -- cold: one mailbox per (comm, dst, src, tag), first use only
+		w.mailboxes[k] = mb //synclint:alloc -- cold: mailbox interning, first use only
 	}
 	return mb
 }
@@ -151,6 +160,7 @@ func (w *World) mailbox(k mbKey) *mailbox {
 // sendMB resolves the sender-side mailbox for (comm, dst, tag) through the
 // rank's single-entry cache; ping-pong style exchanges (JK offset, SKaMPI)
 // hit the cache on every iteration after the first.
+//synclint:allocfree
 func (p *Proc) sendMB(k mbKey) *mailbox {
 	if p.sendCache.mb != nil && p.sendCache.key == k {
 		return p.sendCache.mb
@@ -161,6 +171,7 @@ func (p *Proc) sendMB(k mbKey) *mailbox {
 }
 
 // recvMB is the receiver-side counterpart of sendMB.
+//synclint:allocfree
 func (p *Proc) recvMB(k mbKey) *mailbox {
 	if p.recvCache.mb != nil && p.recvCache.key == k {
 		return p.recvCache.mb
@@ -173,6 +184,7 @@ func (p *Proc) recvMB(k mbKey) *mailbox {
 // arrClamp returns the non-overtaking clamp cell for messages from p to
 // dst, cached per rank: a rank's consecutive sends overwhelmingly target
 // the same peer.
+//synclint:allocfree
 func (p *Proc) arrClamp(dst int) *float64 {
 	if p.lastDst == dst && p.lastArrP != nil {
 		return p.lastArrP
@@ -180,8 +192,8 @@ func (p *Proc) arrClamp(dst int) *float64 {
 	pk := pairKey{p.rank, dst}
 	cell := p.world.lastArr[pk]
 	if cell == nil {
-		cell = new(float64)
-		p.world.lastArr[pk] = cell
+		cell = new(float64) //synclint:alloc -- cold: one clamp cell per (src, dst) pair, first use only
+		p.world.lastArr[pk] = cell //synclint:alloc -- cold: clamp-cell interning, first use only
 	}
 	p.lastDst, p.lastArrP = dst, cell
 	return cell
@@ -190,6 +202,7 @@ func (p *Proc) arrClamp(dst int) *float64 {
 // send implements standard (eager) and synchronous sends of a byte
 // payload. nbytes is the wire size; data is the payload content (may be
 // shorter than nbytes — benchmarking messages are mostly padding).
+//synclint:allocfree
 func (p *Proc) send(comm, dst, tag, nbytes int, data []byte, ssend bool) {
 	if nbytes < len(data) {
 		nbytes = len(data)
@@ -212,6 +225,7 @@ func (p *Proc) send(comm, dst, tag, nbytes int, data []byte, ssend bool) {
 
 // sendF64 sends one float64 carried inside the message struct: no encode,
 // no allocation.
+//synclint:allocfree
 func (p *Proc) sendF64(comm, dst, tag int, v float64, ssend bool) {
 	m := p.sendCommon(dst, 8)
 	if m == nil {
@@ -232,6 +246,7 @@ func (p *Proc) sendF64(comm, dst, tag int, v float64, ssend bool) {
 // sendF64s sends a float64 vector in a pooled slice; the receive side
 // (recvF64sInto) releases it. Collectives use this pair to keep their
 // per-step exchanges off the heap.
+//synclint:allocfree
 func (p *Proc) sendF64s(comm, dst, tag, nbytes int, vals []float64) {
 	if nbytes < 8*len(vals) {
 		nbytes = 8 * len(vals)
@@ -241,7 +256,7 @@ func (p *Proc) sendF64s(comm, dst, tag, nbytes int, vals []float64) {
 		return
 	}
 	m.kind = msgF64s
-	m.fv = append(p.world.getF64s(0)[:0], vals...)
+	m.fv = append(p.world.getF64s(0)[:0], vals...) //synclint:alloc -- pooled vector copy: amortized to the widest payload
 	p.deliver(comm, dst, tag, nbytes, m)
 }
 
@@ -249,10 +264,11 @@ func (p *Proc) sendF64s(comm, dst, tag, nbytes int, vals []float64) {
 // checks, the sender overhead, and the delay + fault draws. It returns a
 // pooled message with arrival set, or nil if the network dropped the
 // message. The RNG draw order here is an observable determinism contract.
+//synclint:allocfree
 func (p *Proc) sendCommon(dst, nbytes int) *message {
 	w := p.world
 	if dst < 0 || dst >= len(w.procs) {
-		panic(fmt.Sprintf("mpi: send to invalid world rank %d", dst))
+		panic(fmt.Sprintf("mpi: send to invalid world rank %d", dst)) //synclint:alloc -- cold: invalid-rank panic
 	}
 	if dst == p.rank {
 		panic("mpi: send-to-self is not supported; collectives avoid it")
@@ -288,6 +304,7 @@ func (p *Proc) sendCommon(dst, nbytes int) *message {
 
 // deliver enqueues m, wakes a blocked receiver, and emits the duplicate
 // copy when the fault injector asks for one.
+//synclint:allocfree
 func (p *Proc) deliver(comm, dst, tag, nbytes int, m *message) {
 	w := p.world
 	mb := p.sendMB(mbKey{comm, dst, p.rank, tag})
@@ -320,7 +337,7 @@ func (p *Proc) deliver(comm, dst, tag, nbytes int, m *message) {
 		case msgBytes:
 			dup.data = m.data
 		case msgF64s:
-			dup.fv = append(w.getF64s(0)[:0], m.fv...)
+			dup.fv = append(w.getF64s(0)[:0], m.fv...) //synclint:alloc -- pooled vector copy for the duplicate delivery
 		}
 		mb.push(dup)
 	}
@@ -329,10 +346,11 @@ func (p *Proc) deliver(comm, dst, tag, nbytes int, m *message) {
 // recvMsg blocks until a matching message has arrived and been taken off
 // the queue, charges the receive overhead, and returns the message. The
 // caller extracts the payload and frees the message.
+//synclint:allocfree
 func (p *Proc) recvMsg(comm, src, tag int) *message {
 	w := p.world
 	if src < 0 || src >= len(w.procs) {
-		panic(fmt.Sprintf("mpi: recv from invalid world rank %d", src))
+		panic(fmt.Sprintf("mpi: recv from invalid world rank %d", src)) //synclint:alloc -- cold: invalid-rank panic
 	}
 	p.maybeCrash()
 	mb := p.recvMB(mbKey{comm, p.rank, src, tag})
@@ -360,6 +378,7 @@ func (p *Proc) recvMsg(comm, src, tag int) *message {
 }
 
 // recv is the untyped blocking receive: it returns the payload as bytes.
+//synclint:allocfree
 func (p *Proc) recv(comm, src, tag int) []byte {
 	m := p.recvMsg(comm, src, tag)
 	data := p.world.bytes(m)
@@ -368,6 +387,7 @@ func (p *Proc) recv(comm, src, tag int) []byte {
 }
 
 // recvF64 receives a message sent by sendF64 without touching the heap.
+//synclint:allocfree
 func (p *Proc) recvF64(comm, src, tag int) float64 {
 	m := p.recvMsg(comm, src, tag)
 	v, ok := f64Of(m)
@@ -380,6 +400,7 @@ func (p *Proc) recvF64(comm, src, tag int) float64 {
 
 // f64Of extracts a single-float64 payload of any kind, releasing pooled
 // storage. ok is false when the payload is not exactly one float64.
+//synclint:allocfree
 func f64Of(m *message) (v float64, ok bool) {
 	switch m.kind {
 	case msgF64:
@@ -403,24 +424,25 @@ func f64Of(m *message) (v float64, ok bool) {
 // recvF64sInto receives a float64 vector into dst (which must have the
 // sender's length), releasing the pooled payload. It is the receive half
 // of sendF64s.
+//synclint:allocfree
 func (p *Proc) recvF64sInto(dst []float64, comm, src, tag int) {
 	m := p.recvMsg(comm, src, tag)
 	switch m.kind {
 	case msgF64s:
 		if len(m.fv) != len(dst) {
-			panic(fmt.Sprintf("mpi: recvF64sInto got %d values, want %d", len(m.fv), len(dst)))
+			panic(fmt.Sprintf("mpi: recvF64sInto got %d values, want %d", len(m.fv), len(dst))) //synclint:alloc -- cold: payload-shape panic
 		}
 		copy(dst, m.fv)
 		p.world.putF64s(m.fv)
 		m.fv = nil
 	case msgF64:
 		if len(dst) != 1 {
-			panic(fmt.Sprintf("mpi: recvF64sInto got 1 value, want %d", len(dst)))
+			panic(fmt.Sprintf("mpi: recvF64sInto got 1 value, want %d", len(dst))) //synclint:alloc -- cold: payload-shape panic
 		}
 		dst[0] = m.v
 	default:
 		if len(m.data) != 8*len(dst) {
-			panic(fmt.Sprintf("mpi: recvF64sInto got %d bytes, want %d", len(m.data), 8*len(dst)))
+			panic(fmt.Sprintf("mpi: recvF64sInto got %d bytes, want %d", len(m.data), 8*len(dst))) //synclint:alloc -- cold: payload-shape panic
 		}
 		for i := range dst {
 			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(m.data[8*i:]))
@@ -433,10 +455,11 @@ func (p *Proc) recvF64sInto(dst []float64, comm, src, tag int) {
 // message. A nil message means the deadline passed without a deliverable
 // message; a message still in flight past the deadline stays queued for a
 // future receive on the same (src, tag).
+//synclint:allocfree
 func (p *Proc) recvMsgTimeout(comm, src, tag int, timeout float64) *message {
 	w := p.world
 	if src < 0 || src >= len(w.procs) {
-		panic(fmt.Sprintf("mpi: recv from invalid world rank %d", src))
+		panic(fmt.Sprintf("mpi: recv from invalid world rank %d", src)) //synclint:alloc -- cold: invalid-rank panic
 	}
 	p.maybeCrash()
 	deadline := p.sp.Now() + timeout
@@ -483,6 +506,7 @@ func (p *Proc) recvMsgTimeout(comm, src, tag int, timeout float64) *message {
 }
 
 // recvTimeout is the untyped timed receive.
+//synclint:allocfree
 func (p *Proc) recvTimeout(comm, src, tag int, timeout float64) ([]byte, bool) {
 	m := p.recvMsgTimeout(comm, src, tag, timeout)
 	if m == nil {
@@ -496,12 +520,14 @@ func (p *Proc) recvTimeout(comm, src, tag int, timeout float64) ([]byte, bool) {
 // --- Comm-level typed helpers ---
 
 // Send performs a standard-mode (eager) send of payload to comm rank dst.
+//synclint:allocfree
 func (c *Comm) Send(dst, tag int, payload []byte) {
 	c.p.send(c.id, c.ranks[dst], tag, len(payload), payload, false)
 }
 
 // SendN sends a message whose wire size is nbytes regardless of payload
 // length; benchmarking messages are mostly padding.
+//synclint:allocfree
 func (c *Comm) SendN(dst, tag, nbytes int, payload []byte) {
 	c.p.send(c.id, c.ranks[dst], tag, nbytes, payload, false)
 }
@@ -509,12 +535,14 @@ func (c *Comm) SendN(dst, tag, nbytes int, payload []byte) {
 // Ssend performs a synchronous send: it returns only after the matching
 // receive has been posted and matched (MPI_Ssend), which the JK offset
 // measurement relies on.
+//synclint:allocfree
 func (c *Comm) Ssend(dst, tag int, payload []byte) {
 	c.p.send(c.id, c.ranks[dst], tag, len(payload), payload, true)
 }
 
 // Recv blocks until the message from comm rank src with the given tag
 // arrives and returns its payload.
+//synclint:allocfree
 func (c *Comm) Recv(src, tag int) []byte {
 	return c.p.recv(c.id, c.ranks[src], tag)
 }
@@ -522,11 +550,13 @@ func (c *Comm) Recv(src, tag int) []byte {
 // RecvTimeout waits at most timeout seconds for the message from comm rank
 // src with the given tag. ok=false means the deadline passed; a copy still
 // in flight stays queued for a later receive on the same (src, tag).
+//synclint:allocfree
 func (c *Comm) RecvTimeout(src, tag int, timeout float64) (data []byte, ok bool) {
 	return c.p.recvTimeout(c.id, c.ranks[src], tag, timeout)
 }
 
 // RecvF64Timeout is the timed variant of RecvF64.
+//synclint:allocfree
 func (c *Comm) RecvF64Timeout(src, tag int, timeout float64) (v float64, ok bool) {
 	m := c.p.recvMsgTimeout(c.id, c.ranks[src], tag, timeout)
 	if m == nil {
@@ -543,16 +573,19 @@ func (c *Comm) RecvF64Timeout(src, tag int, timeout float64) (v float64, ok bool
 // SendF64 sends one float64 (8 B on the wire), the workhorse of the clock
 // offset algorithms (timestamps). The value travels inside the message
 // struct: the hot ping-pong loops never allocate.
+//synclint:allocfree
 func (c *Comm) SendF64(dst, tag int, v float64) {
 	c.p.sendF64(c.id, c.ranks[dst], tag, v, false)
 }
 
 // RecvF64 receives one float64 from src.
+//synclint:allocfree
 func (c *Comm) RecvF64(src, tag int) float64 {
 	return c.p.recvF64(c.id, c.ranks[src], tag)
 }
 
 // SsendF64 is the synchronous variant of SendF64.
+//synclint:allocfree
 func (c *Comm) SsendF64(dst, tag int, v float64) {
 	c.p.sendF64(c.id, c.ranks[dst], tag, v, true)
 }

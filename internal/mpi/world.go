@@ -102,9 +102,10 @@ type Proc struct {
 // scratchF64s returns the rank's scratch vector resized to n, for
 // short-lived decode targets inside collectives. At most one scratch user
 // may be live at a time.
+//synclint:allocfree
 func (p *Proc) scratchF64s(n int) []float64 {
 	if cap(p.scratch) < n {
-		p.scratch = make([]float64, n)
+		p.scratch = make([]float64, n) //synclint:alloc -- scratch growth: amortized to the widest collective
 	}
 	return p.scratch[:n]
 }
@@ -199,6 +200,7 @@ func (p *Proc) TrueNow() float64 { return p.sp.Now() }
 // Advance consumes d seconds of this rank's (virtual) CPU time. It models
 // local computation. If the rank's scheduled crash time falls inside the
 // interval, the rank advances to the crash time and halts there.
+//synclint:allocfree
 func (p *Proc) Advance(d float64) {
 	if d <= 0 {
 		return
@@ -227,6 +229,7 @@ func (p *Proc) WaitUntilTrue(t float64) {
 // maybeCrash crash-stops the rank if its scheduled crash time has passed.
 // The MPI layer calls it at communication entry points and after blocking
 // resumes, so a doomed rank cannot keep communicating past its crash time.
+//synclint:allocfree
 func (p *Proc) maybeCrash() {
 	if p.sp.Now() >= p.world.cfg.Faults.CrashTime(p.rank) {
 		p.sp.Exit()

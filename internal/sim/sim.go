@@ -124,6 +124,7 @@ func (e *Env) Spawn(fn func(p *Proc)) *Proc {
 }
 
 // schedule enqueues a wake-up for p at time t (clamped to now).
+//synclint:allocfree
 func (e *Env) schedule(t float64, p *Proc) {
 	if t < e.now {
 		t = e.now
@@ -135,6 +136,7 @@ func (e *Env) schedule(t float64, p *Proc) {
 // dispatch pops events until it finds a live one and hands the baton to its
 // process; if the queue drains (or a process failed), the baton goes back
 // to Run. It is called by the goroutine that currently holds the baton.
+//synclint:allocfree
 func (e *Env) dispatch() {
 	if e.failure == nil {
 		for e.events.len() > 0 {
@@ -191,6 +193,7 @@ func (e *Env) Run() error {
 // block hands the baton to the next runnable process and waits for it to
 // come back. If the next event belongs to the calling process itself, the
 // buffered resume channel makes the round trip free of goroutine switches.
+//synclint:allocfree
 func (p *Proc) block() {
 	p.env.dispatch()
 	<-p.resume
@@ -201,6 +204,7 @@ func (p *Proc) block() {
 // this one first, WaitUntil returns early at the wake time and the original
 // wake-up at t is cancelled — the "sleep until t or until poked" primitive
 // the MPI layer's timed receive is built on.
+//synclint:allocfree
 func (p *Proc) WaitUntil(t float64) {
 	p.env.schedule(t, p)
 	p.block()
@@ -216,10 +220,12 @@ func (p *Proc) Exit() {
 }
 
 // Sleep blocks the calling process for d seconds.
+//synclint:allocfree
 func (p *Proc) Sleep(d float64) { p.WaitUntil(p.env.now + d) }
 
 // Suspend parks the calling process with no scheduled wake-up. Another
 // process must call Wake to resume it.
+//synclint:allocfree
 func (p *Proc) Suspend() {
 	p.suspended = true
 	p.block()
@@ -228,6 +234,7 @@ func (p *Proc) Suspend() {
 
 // Wake schedules process q to resume at time t (clamped to now). It is the
 // counterpart of Suspend and must be called from the running process.
+//synclint:allocfree
 func (e *Env) Wake(q *Proc, t float64) {
 	e.schedule(t, q)
 }
