@@ -3,7 +3,7 @@ GO ?= go
 # The substrate micro-benchmarks: the sim kernel + MPI messaging building
 # blocks every experiment bottoms out in. `make bench` tracks them in
 # BENCH_sim.json, the perf trajectory future PRs regress against.
-SUBSTRATE_BENCH = BenchmarkSim|BenchmarkHCA3Sync|BenchmarkLinearFit
+SUBSTRATE_BENCH = BenchmarkSim|BenchmarkHCA3Sync|BenchmarkLinearFit|BenchmarkSnapshot
 
 # Pinned third-party linter versions. CI installs exactly these; locally
 # they run only when already on PATH (this repo must build offline).
@@ -25,10 +25,11 @@ test:
 
 # The engine, simulator, MPI, and fault-tolerant sync layers are the
 # concurrency-bearing packages; cluster and stats feed them shared state
-# (disturbed hardware clocks, robust summaries), so run all of them under
+# (disturbed hardware clocks, robust summaries), and checkpoint + detrand
+# snapshot that shared state while workers run, so all of them go under
 # the race detector.
 race:
-	$(GO) test -race ./internal/sim ./internal/mpi ./internal/harness ./internal/clocksync ./internal/faults ./internal/cluster ./internal/stats
+	$(GO) test -race ./internal/sim ./internal/mpi ./internal/harness ./internal/clocksync ./internal/faults ./internal/cluster ./internal/stats ./internal/checkpoint ./internal/detrand
 
 # Short smoke run of the native fuzz targets (seed corpora always run as
 # part of `make test`; this explores beyond them).
@@ -38,6 +39,7 @@ fuzz:
 	$(GO) test ./internal/clocksync -run '^$$' -fuzz 'FuzzFitOffsetSamples$$' -fuzztime 10s
 	$(GO) test ./internal/clocksync -run '^$$' -fuzz FuzzFitOffsetSamplesRobust -fuzztime 10s
 	$(GO) test ./internal/analysis -run '^$$' -fuzz FuzzParseDirective -fuzztime 10s
+	$(GO) test ./internal/checkpoint -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 10s
 
 # The repository's own multichecker (determinism, seed flow, allocfree
 # hot path, MPI error discards, //synclint: grammar), then the pinned

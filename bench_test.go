@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"hclocksync/internal/bench"
+	"hclocksync/internal/checkpoint"
 	"hclocksync/internal/clock"
 	"hclocksync/internal/clocksync"
 	"hclocksync/internal/cluster"
@@ -241,6 +242,40 @@ func BenchmarkHCA3Sync(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	// Cost of one checkpoint at a quiescent cut: capture the session state
+	// and serialize it, with in-flight messages and drifted clocks in the
+	// picture. B/rank is the serialized size per rank.
+	const nprocs = 16
+	s, err := mpi.NewSession(mpi.Config{Spec: cluster.TestBox(), NProcs: nprocs, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = s.RunPhase(func(p *mpi.Proc) {
+		c := p.World()
+		c.Barrier()
+		c.AllreduceF64(float64(p.Rank()), mpi.OpSum)
+		// Leave one message per even rank in flight across the cut.
+		if p.Rank()%2 == 0 && p.Rank()+1 < c.Size() {
+			c.SendF64(p.Rank()+1, 1, p.TrueNow())
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var raw []byte
+	for i := 0; i < b.N; i++ {
+		st, err := s.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw = checkpoint.EncodeSession(&checkpoint.Session{Cut: 1, State: st})
+	}
+	b.ReportMetric(float64(len(raw))/nprocs, "B/rank")
 }
 
 func BenchmarkLinearFit(b *testing.B) {

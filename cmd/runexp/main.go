@@ -6,6 +6,7 @@
 //
 //	runexp -suite NAME[,NAME...]|all [-scale default|tiny] [-jobs N]
 //	       [-cache DIR] [-outdir DIR] [-seed S] [-quiet]
+//	       [-checkpoint FILE] [-checkpoint-every N] [-restore FILE]
 //	       [-cpuprofile FILE] [-memprofile FILE]
 //	runexp -list
 //
@@ -15,6 +16,18 @@
 // an interrupted or repeated invocation re-simulates only what is missing —
 // that is the resume story: kill runexp at any point and run the same
 // command line again, and completed work is served from disk.
+//
+// With -checkpoint, the run additionally maintains a single-file sweep
+// ledger (internal/checkpoint's sealed binary format, atomic
+// write-then-rename): every finished task's result and, for the
+// sync-accuracy suites — which then run phased — the latest mid-run cut
+// snapshot of each in-flight simulation. After a SIGKILL, rerunning the
+// same command line with -restore FILE serves finished tasks from the
+// ledger and resumes in-flight simulations from their last quiescent cut,
+// producing output byte-identical to an uninterrupted checkpointed run
+// (see DESIGN.md §11). Note phased execution is a different — equally
+// deterministic — schedule than unphased, so checkpointed sync-accuracy
+// outputs are not byte-comparable to non-checkpointed ones.
 //
 // With -cpuprofile / -memprofile, pprof profiles of the whole run are
 // written on exit (the memory profile after a final GC), so profiling the
@@ -62,7 +75,11 @@ func seeded(seed int64, base *int64) {
 	}
 }
 
-func registry() []suiteDef {
+// registry lists the runnable suites. With cut set (checkpointing active)
+// the sync-accuracy suites run phased, so a killed sweep resumes from each
+// mpirun's last quiescent cut; phased results are deterministic but keyed
+// and hashed separately from unphased ones.
+func registry(cut bool) []suiteDef {
 	pickSync := func(tiny bool, tinyFn, defFn func() experiments.SyncAccuracyConfig) experiments.SyncAccuracyConfig {
 		if tiny {
 			return tinyFn()
@@ -72,6 +89,7 @@ func registry() []suiteDef {
 	syncSuite := func(name, title string, tinyFn, defFn func() experiments.SyncAccuracyConfig) suiteDef {
 		return suiteDef{name, title, func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
 			cfg := pickSync(tiny, tinyFn, defFn)
+			cfg.Cut = cut
 			seeded(seed, &cfg.Job.Seed)
 			return experiments.RunSyncAccuracy(eng, cfg)
 		}}
@@ -183,6 +201,9 @@ func main() {
 	cache := flag.String("cache", ".expcache", "result-cache directory (empty disables caching)")
 	outdir := flag.String("outdir", "", "write per-suite .txt outputs and manifest.json here")
 	seed := flag.Int64("seed", 0, "override every suite's base seed")
+	ckptPath := flag.String("checkpoint", "", "write a crash-resumable sweep ledger to this file")
+	ckptEvery := flag.Int("checkpoint-every", 1, "flush the ledger after every N completed tasks or saved cuts")
+	restore := flag.String("restore", "", "resume from this sweep ledger (implies -checkpoint to the same file)")
 	list := flag.Bool("list", false, "list available suites and exit")
 	quiet := flag.Bool("quiet", false, "suppress progress lines on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -216,7 +237,14 @@ func main() {
 		}()
 	}
 
-	reg := registry()
+	if *restore != "" && *ckptPath != "" && *restore != *ckptPath {
+		fmt.Fprintln(os.Stderr, "runexp: -restore and -checkpoint must name the same ledger file")
+		os.Exit(2)
+	}
+	if *ckptPath == "" {
+		*ckptPath = *restore
+	}
+	reg := registry(*ckptPath != "")
 	if *list {
 		for _, s := range reg {
 			fmt.Printf("%-12s %s\n", s.name, s.title)
@@ -260,6 +288,16 @@ func main() {
 	if !*quiet {
 		opts.Reporter = harness.NewProgressReporter(os.Stderr)
 	}
+	var ckpt *harness.Checkpointer
+	if *ckptPath != "" {
+		ckpt = harness.NewCheckpointer(*ckptPath, *ckptEvery, "")
+		if *restore != "" {
+			if err := ckpt.Load(); err != nil {
+				fail(fmt.Errorf("restoring %s: %w", *restore, err))
+			}
+		}
+		opts.Checkpoint = ckpt
+	}
 	eng := harness.New(opts)
 	start := time.Now() //synclint:wallclock -- wall-time telemetry for the manifest; never hashed
 
@@ -277,6 +315,12 @@ func main() {
 			}
 			res.Print(f)
 			f.Close()
+		}
+	}
+
+	if ckpt != nil {
+		if err := ckpt.Flush(); err != nil {
+			fail(fmt.Errorf("flushing checkpoint: %w", err))
 		}
 	}
 

@@ -35,6 +35,8 @@ var DefaultGuarded = []string{
 	"hclocksync/internal/faults",
 	"hclocksync/internal/experiments",
 	"hclocksync/internal/harness",
+	"hclocksync/internal/detrand",
+	"hclocksync/internal/checkpoint",
 	"hclocksync/cmd/...",
 }
 

@@ -1,0 +1,42 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically stores an encoded checkpoint at path: the bytes are
+// written to a temp file in the same directory and renamed into place, so a
+// crash mid-write leaves either the previous checkpoint or the new one,
+// never a torn file (a torn file would in any case fail the CRC on read).
+func WriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return fmt.Errorf("checkpoint: %w", werr)
+		}
+		return fmt.Errorf("checkpoint: %w", cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads an encoded checkpoint. The bytes are returned as stored;
+// validation happens in DecodeSession/DecodeSweep.
+func ReadFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

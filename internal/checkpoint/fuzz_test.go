@@ -1,0 +1,71 @@
+package checkpoint
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// FuzzSnapshotDecode drives both decoders with arbitrary bytes. The
+// contract under test: every input either decodes cleanly or is rejected
+// with one of the format's typed errors — no input may panic, hang, or
+// come back with an untyped failure. Valid encodings must additionally
+// survive a re-encode with identical bytes (the determinism contract).
+func FuzzSnapshotDecode(f *testing.F) {
+	// Seed corpus: a valid session, a valid sweep, and systematic
+	// corruptions of each — truncations, wrong version, flipped payload and
+	// CRC bits, wrong kind, and a count field inflated past the payload.
+	rng := rand.New(rand.NewSource(99))
+	session := EncodeSession(&Session{Cut: 1, State: randSessionState(rng), App: [][]byte{{1, 2, 3}}})
+	sweep := EncodeSweep(&Sweep{
+		Version: "fuzz-v1",
+		Results: []SweepResult{{Key: "k1", Result: []byte(`{"a":1}`)}},
+		Tasks:   []SweepTask{{Suite: "s", Name: "n", Cut: 2, Snap: []byte{0xde, 0xad}}},
+	})
+	for _, valid := range [][]byte{session, sweep} {
+		f.Add(valid)
+		for _, cut := range []int{0, 7, len(valid) / 2, len(valid) - 1} {
+			f.Add(valid[:cut])
+		}
+		for _, pos := range []int{0, 8, 12, 13, headerLen, len(valid) - 1} {
+			mut := append([]byte(nil), valid...)
+			mut[pos] ^= 0x40
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte{})
+	f.Add(magic[:])
+	// A frame whose inner count claims 2^60 elements.
+	huge := seal(KindSession, []byte{0, 0, 0, 0, 0, 0, 0, 0x10})
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, decode := range []func([]byte) error{
+			func(b []byte) error { _, err := DecodeSession(b); return err },
+			func(b []byte) error { _, err := DecodeSweep(b); return err },
+		} {
+			err := decode(data)
+			if err == nil {
+				continue
+			}
+			var ve *UnsupportedVersionError
+			var ce *ChecksumError
+			var co *CorruptError
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrTruncated) &&
+				!errors.As(err, &ve) && !errors.As(err, &ce) && !errors.As(err, &co) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+		}
+		// A decodable session must re-encode byte-identically.
+		if s, err := DecodeSession(data); err == nil {
+			if Digest(EncodeSession(s)) != Digest(data) {
+				t.Fatal("valid session did not re-encode to identical bytes")
+			}
+		}
+		if s, err := DecodeSweep(data); err == nil {
+			if Digest(EncodeSweep(s)) != Digest(data) {
+				t.Fatal("valid sweep did not re-encode to identical bytes")
+			}
+		}
+	})
+}

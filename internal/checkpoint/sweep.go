@@ -1,0 +1,80 @@
+package checkpoint
+
+// Sweep payload codec: a harness sweep's resumable progress. Completed
+// tasks carry their canonical-JSON results keyed by harness cache key;
+// tasks interrupted mid-job carry their latest sealed session snapshot.
+// The harness sorts both lists before encoding, so a sweep file is as
+// deterministic as a session one.
+
+// Sweep is a sweep checkpoint's content.
+type Sweep struct {
+	// Version is the engine's code-version string. A resumer built from
+	// different code ignores the file rather than mix incompatible results.
+	Version string
+	// Results are the completed tasks, sorted by Key.
+	Results []SweepResult
+	// Tasks are in-flight task snapshots, sorted by (Suite, Name).
+	Tasks []SweepTask
+}
+
+// SweepResult is one completed task: its harness cache key and its
+// canonical-JSON result payload.
+type SweepResult struct {
+	Key    string
+	Result []byte
+}
+
+// SweepTask is the latest mid-run snapshot of one unfinished task.
+type SweepTask struct {
+	Suite, Name string
+	Cut         int
+	Snap        []byte // a sealed KindSession container
+}
+
+// EncodeSweep serializes s into a sealed container.
+func EncodeSweep(s *Sweep) []byte {
+	var e enc
+	e.str(s.Version)
+	e.count(len(s.Results))
+	for _, r := range s.Results {
+		e.str(r.Key)
+		e.bytes(r.Result)
+	}
+	e.count(len(s.Tasks))
+	for _, t := range s.Tasks {
+		e.str(t.Suite)
+		e.str(t.Name)
+		e.i64(int64(t.Cut))
+		e.bytes(t.Snap)
+	}
+	return seal(KindSweep, e.b)
+}
+
+// DecodeSweep parses a sealed container produced by EncodeSweep, with the
+// same typed-errors-never-panics contract as DecodeSession.
+func DecodeSweep(b []byte) (*Sweep, error) {
+	kind, payload, err := open(b)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindSweep {
+		return nil, &CorruptError{Field: "kind", Msg: "not a sweep checkpoint"}
+	}
+	d := &dec{b: payload}
+	var s Sweep
+	s.Version = d.str()
+	n := d.count(16)
+	for i := 0; i < n && d.err == nil; i++ {
+		s.Results = append(s.Results, SweepResult{Key: d.str(), Result: d.bytes()})
+	}
+	n = d.count(32)
+	for i := 0; i < n && d.err == nil; i++ {
+		s.Tasks = append(s.Tasks, SweepTask{
+			Suite: d.str(), Name: d.str(), Cut: int(d.i64()), Snap: d.bytes(),
+		})
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"testing"
+)
+
+var snapTestSpec = ClockSpec{
+	Offset:         1.25,
+	BaseSkew:       3e-6,
+	WanderSigma:    1e-7,
+	WanderRho:      0.9,
+	WanderInterval: 10,
+	Granularity:    1e-9,
+}
+
+// A restored clock must report byte-identical readings to the original,
+// including segments extended and disturbances injected before the cut.
+func TestClockStateRoundTrip(t *testing.T) {
+	orig := NewHWClock(snapTestSpec, 42)
+	orig.ReadAt(137) // extend well past the first segment
+	orig.AddStep(50, 3e-3)
+	orig.AddFreqJump(90, 200e-6)
+
+	st := orig.State()
+	restored := NewHWClock(snapTestSpec, 42)
+	if err := restored.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, at := range []float64{0, 13.7, 49.999, 50, 75, 90.5, 137, 500} {
+		if a, b := orig.ReadAt(at), restored.ReadAt(at); a != b {
+			t.Errorf("ReadAt(%g): orig %v != restored %v", at, a, b)
+		}
+		if a, b := orig.SkewAt(at), restored.SkewAt(at); a != b {
+			t.Errorf("SkewAt(%g): orig %v != restored %v", at, a, b)
+		}
+	}
+	// Post-restore lazy extension must also agree draw for draw.
+	if a, b := orig.ReadAt(2000), restored.ReadAt(2000); a != b {
+		t.Errorf("post-restore extension diverged: %v != %v", a, b)
+	}
+}
+
+// Clamped disturbances must restore verbatim, not get re-clamped against an
+// empty list (which would change the stored values).
+func TestClockStateRestoresClampedDisturbances(t *testing.T) {
+	orig := NewHWClock(snapTestSpec, 7)
+	orig.AddFreqJump(10, 0.3)
+	orig.AddFreqJump(20, 0.3) // clamped to 0.1 so the sum stays at 0.4
+
+	restored := NewHWClock(snapTestSpec, 7)
+	if err := restored.RestoreState(orig.State()); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := orig.ReadAt(100), restored.ReadAt(100); a != b {
+		t.Errorf("clamped disturbance diverged: %v != %v", a, b)
+	}
+}
+
+func TestClockRestoreRejectsOverExtended(t *testing.T) {
+	orig := NewHWClock(snapTestSpec, 3)
+	st := orig.State() // 1 segment (NewHWClock extends once)
+
+	over := NewHWClock(snapTestSpec, 3)
+	over.ReadAt(95) // force extra segments
+	if err := over.RestoreState(st); err == nil {
+		t.Fatal("RestoreState on an over-extended clock succeeded; want error")
+	}
+}
+
+func TestMachineClockStatesRoundTrip(t *testing.T) {
+	spec := MachineSpec{
+		Name:           "snaptest",
+		Nodes:          4,
+		SocketsPerNode: 2,
+		CoresPerSocket: 2,
+		ClockDomain:    DomainSocket,
+		Mono: ClockGenSpec{
+			OffsetSpread: 100, SkewSpread: 20e-6,
+			WanderSigma: 1e-7, WanderRho: 0.9, WanderInterval: 10,
+		},
+		GTOD: ClockGenSpec{
+			OffsetSpread: 200e-6, SkewSpread: 20e-6,
+			WanderSigma: 1e-7, WanderRho: 0.9, WanderInterval: 10,
+			Granularity: 1e-6,
+		},
+	}
+	orig, err := NewMachine(spec, 16, MapBlock, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance some clocks unevenly and disturb one.
+	orig.Clock(0, Monotonic).ReadAt(300)
+	orig.Clock(9, GTOD).ReadAt(120)
+	orig.Clock(5, Monotonic).AddStep(40, -2e-3)
+
+	st := orig.ClockStates()
+	restored, err := NewMachine(spec, 16, MapBlock, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreClockStates(st); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 16; r++ {
+		for _, src := range []ClockSource{Monotonic, GTOD} {
+			for _, at := range []float64{0, 41, 123.4, 500} {
+				a := orig.Clock(r, src).ReadAt(at)
+				b := restored.Clock(r, src).ReadAt(at)
+				if a != b {
+					t.Fatalf("rank %d %v ReadAt(%g): %v != %v", r, src, at, a, b)
+				}
+			}
+		}
+	}
+
+	// Mismatched shape must be rejected.
+	nodeSpec := spec
+	nodeSpec.ClockDomain = DomainNode // 4 domains instead of 8
+	other, err := NewMachine(nodeSpec, 16, MapBlock, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.RestoreClockStates(st); err == nil {
+		t.Fatal("RestoreClockStates with wrong domain count succeeded; want error")
+	}
+}

@@ -1,0 +1,74 @@
+// Package detrand provides a draw-counting wrapper around math/rand's
+// seeded source, so a simulation's RNG position can be captured in a
+// checkpoint and reproduced exactly in a fresh process.
+//
+// The wrapper delegates every draw to the stdlib generator it wraps, so a
+// stream read through a Source is bit-identical to one read from
+// rand.NewSource directly — the golden output hashes in
+// internal/experiments prove this did not move a single draw. What the
+// wrapper adds is a count of state advances: both Int63 and Uint64 step
+// the underlying additive-lagged-Fibonacci generator exactly once, so
+// (seed, draws) is a complete description of the stream position, and
+// Restore re-reaches it by fast-forwarding a fresh stream. Fast-forward
+// costs O(draws) at a few nanoseconds per step, which keeps snapshots
+// small (16 bytes per stream) without any unsafe access to stdlib
+// internals.
+package detrand
+
+import "math/rand"
+
+// Source is a rand.Source64 that counts state advances. Use it as the
+// source of a *rand.Rand; the stream is identical to rand.NewSource(seed).
+type Source struct {
+	seed  int64
+	draws uint64
+	src   rand.Source64
+}
+
+// New returns a counting source seeded with seed, positioned at draw 0.
+func New(seed int64) *Source {
+	// rand.NewSource's concrete type has implemented Source64 since Go 1.8;
+	// the assertion guards against a regression loudly rather than silently
+	// changing the stream.
+	return &Source{seed: seed, src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Restore returns a counting source seeded with seed and fast-forwarded by
+// draws state advances: it continues the stream exactly where a source
+// that reported Draws() == draws left off.
+func Restore(seed int64, draws uint64) *Source {
+	s := New(seed)
+	for i := uint64(0); i < draws; i++ {
+		// Every generator step is one state advance regardless of which
+		// method performed it (Int63 is Uint64 masked), so replaying with
+		// Uint64 reproduces any mix of draw methods.
+		s.src.Uint64()
+	}
+	s.draws = draws
+	return s
+}
+
+// Int63 draws 63 uniform bits, advancing the counter.
+func (s *Source) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 draws 64 uniform bits, advancing the counter.
+func (s *Source) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed reseeds the underlying source and resets the draw counter.
+func (s *Source) Seed(seed int64) {
+	s.seed = seed
+	s.draws = 0
+	s.src.Seed(seed)
+}
+
+// SeedValue returns the seed the stream was (re)started from.
+func (s *Source) SeedValue() int64 { return s.seed }
+
+// Draws returns the number of state advances since the last (re)seed.
+func (s *Source) Draws() uint64 { return s.draws }

@@ -1,0 +1,71 @@
+package detrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The wrapper must not move a single draw relative to the raw stdlib
+// source: the repository's golden output hashes depend on it.
+func TestStreamIdenticalToStdlib(t *testing.T) {
+	seed := int64(12345)
+	a := rand.New(New(seed))
+	b := rand.New(rand.NewSource(seed))
+	for i := 0; i < 1000; i++ {
+		switch i % 5 {
+		case 0:
+			if x, y := a.Int63(), b.Int63(); x != y {
+				t.Fatalf("draw %d: Int63 %d != %d", i, x, y)
+			}
+		case 1:
+			if x, y := a.Float64(), b.Float64(); x != y {
+				t.Fatalf("draw %d: Float64 %v != %v", i, x, y)
+			}
+		case 2:
+			if x, y := a.NormFloat64(), b.NormFloat64(); x != y {
+				t.Fatalf("draw %d: NormFloat64 %v != %v", i, x, y)
+			}
+		case 3:
+			if x, y := a.Intn(97), b.Intn(97); x != y {
+				t.Fatalf("draw %d: Intn %d != %d", i, x, y)
+			}
+		case 4:
+			if x, y := a.Uint64(), b.Uint64(); x != y {
+				t.Fatalf("draw %d: Uint64 %d != %d", i, x, y)
+			}
+		}
+	}
+}
+
+// Restore(seed, Draws()) must continue the stream exactly, whatever mix of
+// draw methods produced the position.
+func TestRestoreContinuesStream(t *testing.T) {
+	src := New(42)
+	r := rand.New(src)
+	for i := 0; i < 137; i++ {
+		r.NormFloat64() // variable draws per call: counts state advances, not calls
+		r.Float64()
+		r.Perm(7)
+	}
+	resumed := rand.New(Restore(src.SeedValue(), src.Draws()))
+	for i := 0; i < 500; i++ {
+		if x, y := r.Float64(), resumed.Float64(); x != y {
+			t.Fatalf("post-restore draw %d: %v != %v", i, x, y)
+		}
+	}
+}
+
+func TestSeedResetsCounter(t *testing.T) {
+	src := New(1)
+	rand.New(src).Float64()
+	if src.Draws() != 1 {
+		t.Fatalf("draws = %d, want 1", src.Draws())
+	}
+	src.Seed(99)
+	if src.Draws() != 0 || src.SeedValue() != 99 {
+		t.Fatalf("after Seed: draws=%d seed=%d", src.Draws(), src.SeedValue())
+	}
+	if x, y := src.Int63(), rand.NewSource(99).Int63(); x != y {
+		t.Fatalf("reseeded stream diverged: %d != %d", x, y)
+	}
+}

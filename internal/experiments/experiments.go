@@ -33,9 +33,9 @@ type Job struct {
 	Allreduce   mpi.AllreduceAlg
 }
 
-// run executes main as an MPI job; it converts the config and fails fast.
-func (j Job) run(main func(p *mpi.Proc)) error {
-	return mpi.Run(mpi.Config{
+// config converts the job to the MPI layer's configuration.
+func (j Job) config() mpi.Config {
+	return mpi.Config{
 		Spec:        j.Spec,
 		NProcs:      j.NProcs,
 		Mapping:     j.Mapping,
@@ -43,7 +43,12 @@ func (j Job) run(main func(p *mpi.Proc)) error {
 		ClockSource: j.ClockSource,
 		Barrier:     j.Barrier,
 		Allreduce:   j.Allreduce,
-	}, main)
+	}
+}
+
+// run executes main as an MPI job; it converts the config and fails fast.
+func (j Job) run(main func(p *mpi.Proc)) error {
+	return mpi.Run(j.config(), main)
 }
 
 // us converts seconds to microseconds for printing (the paper's unit).

@@ -49,6 +49,22 @@ func goldenSuites() []goldenSuite {
 			res.Print(&b)
 			return b.String(), nil
 		}},
+		{"fig3cut", func(eng *harness.Engine) (string, error) {
+			// The phased (checkpointable) fig3 pipeline. Its schedule
+			// differs from unphased fig3 — phase B respawns every rank at
+			// the cut's global virtual time — so it pins its own hash; the
+			// plain fig3 hash proves cut-mode support left the unphased
+			// path untouched.
+			cfg := TinyFig3Config()
+			cfg.Cut = true
+			res, err := RunSyncAccuracy(eng, cfg)
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			res.Print(&b)
+			return b.String(), nil
+		}},
 		{"fig7", func(eng *harness.Engine) (string, error) {
 			res, err := RunFig7(eng, TinyFig7Config())
 			if err != nil {

@@ -1,0 +1,180 @@
+package experiments
+
+// Phased execution of the Figs. 3–6 harness: the same mpirun as
+// syncAccuracyRun, split into two session phases at the end-of-sync
+// barrier (the quiescent virtual-time cut of internal/checkpoint). Phase A
+// runs the synchronization algorithm; phase B runs the accuracy check and
+// the ground-truth sampling. Between the phases the whole job — kernel,
+// clocks, mailboxes, plus the per-rank synchronized-clock models captured
+// here as the application payload — can be snapshotted, and a killed sweep
+// resumes from the cut instead of re-synchronizing.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"hclocksync/internal/checkpoint"
+	"hclocksync/internal/clock"
+	"hclocksync/internal/clocksync"
+	"hclocksync/internal/harness"
+	"hclocksync/internal/mpi"
+)
+
+// syncAccuracyRunPhased is the phased counterpart of syncAccuracyRun. With
+// a nil checkpoint handle it runs both phases back to back (the
+// "uninterrupted" baseline the golden test pins); with a handle it saves a
+// snapshot at the cut and resumes from one when the handle offers it.
+func syncAccuracyRunPhased(base Job, alg clocksync.Algorithm, run int, seed int64,
+	wait float64, check clocksync.CheckConfig, ckpt harness.TaskCheckpoint) (SyncRun, error) {
+	job := base
+	job.Seed = seed
+	cfg := job.config()
+	row := SyncRun{Label: alg.Name(), Run: run}
+	fail := func(err error) (SyncRun, error) {
+		return SyncRun{}, fmt.Errorf("%s run %d: %w", alg.Name(), run, err)
+	}
+
+	var s *mpi.Session
+	var states []clocksync.SyncState
+	var t0, end float64
+	cut := 0
+	if ckpt != nil {
+		if c, snap, ok := ckpt.Latest(); ok {
+			decoded, err := checkpoint.DecodeSession(snap)
+			if err != nil {
+				return fail(fmt.Errorf("decoding cut snapshot: %w", err))
+			}
+			resumed, err := mpi.ResumeSession(cfg, decoded.State)
+			if err != nil {
+				return fail(fmt.Errorf("resuming from cut %d: %w", c, err))
+			}
+			states, t0, end, err = decodeSyncCut(decoded.App, job.NProcs)
+			if err != nil {
+				return fail(fmt.Errorf("decoding cut %d payload: %w", c, err))
+			}
+			s, cut = resumed, c
+		}
+	}
+	if s == nil {
+		fresh, err := mpi.NewSession(cfg)
+		if err != nil {
+			return fail(err)
+		}
+		s = fresh
+	}
+
+	if cut < 1 {
+		states = make([]clocksync.SyncState, job.NProcs)
+		var mu sync.Mutex
+		err := s.RunPhase(func(p *mpi.Proc) {
+			comm := p.World()
+			comm.Barrier()
+			myT0 := p.TrueNow()
+			g := alg.Sync(comm, clock.NewLocal(p))
+			myEnd := comm.AllreduceF64(p.TrueNow(), mpi.OpMax)
+			mu.Lock()
+			states[comm.Rank()] = clocksync.CaptureClock(g)
+			if comm.Rank() == 0 {
+				t0, end = myT0, myEnd
+			}
+			mu.Unlock()
+		})
+		if err != nil {
+			return fail(err)
+		}
+		cut = 1
+		if ckpt != nil {
+			st, err := s.Snapshot()
+			if err != nil {
+				return fail(fmt.Errorf("snapshot at cut %d: %w", cut, err))
+			}
+			ckpt.Save(cut, checkpoint.EncodeSession(&checkpoint.Session{
+				Cut: cut, State: st, App: encodeSyncCut(states, t0, end),
+			}))
+		}
+	}
+
+	var mu sync.Mutex
+	readings0 := make([]float64, job.NProcs)
+	readingsW := make([]float64, job.NProcs)
+	err := s.RunPhase(func(p *mpi.Proc) {
+		comm := p.World()
+		g := states[comm.Rank()].Rebuild(clock.NewLocal(p))
+		samples := clocksync.CheckAccuracy(comm, g, check)
+		_, m := clock.Collapse(g)
+		hw := p.HWClock()
+		l0, lw := hw.ReadAt(end), hw.ReadAt(end+wait)
+		mu.Lock()
+		readings0[comm.Rank()] = l0 - m.Predict(l0)
+		readingsW[comm.Rank()] = lw - m.Predict(lw)
+		mu.Unlock()
+		if comm.Rank() == 0 {
+			at0, atW := clocksync.MaxAbsOffsets(samples)
+			mu.Lock()
+			row.Duration = end - t0
+			row.MaxAbs0, row.MaxAbsW = at0, atW
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return fail(err)
+	}
+	row.TrueSpread0 = spread(readings0)
+	row.TrueSpreadW = spread(readingsW)
+	return row, nil
+}
+
+// encodeSyncCut serializes the cross-phase payload: one header blob with
+// the phase-A timestamps, then one blob per rank holding its synchronized
+// clock's model stack as (slope, intercept) pairs. Everything is
+// little-endian float64 bits, so the payload round-trips bit-exactly — a
+// JSON detour would survive too (Go prints shortest round-trip floats) but
+// the raw bits make the byte-identity contract self-evident.
+func encodeSyncCut(states []clocksync.SyncState, t0, end float64) [][]byte {
+	app := make([][]byte, 0, 1+len(states))
+	app = append(app, appendF64s(nil, t0, end))
+	for _, st := range states {
+		var b []byte
+		for _, m := range st.Models {
+			b = appendF64s(b, m.Slope, m.Intercept)
+		}
+		app = append(app, b)
+	}
+	return app
+}
+
+// decodeSyncCut inverts encodeSyncCut, validating the shape against the
+// job's rank count.
+func decodeSyncCut(app [][]byte, nprocs int) ([]clocksync.SyncState, float64, float64, error) {
+	if len(app) != 1+nprocs {
+		return nil, 0, 0, fmt.Errorf("payload has %d blobs, want %d", len(app), 1+nprocs)
+	}
+	hdr := app[0]
+	if len(hdr) != 16 {
+		return nil, 0, 0, fmt.Errorf("header blob is %d bytes, want 16", len(hdr))
+	}
+	t0 := math.Float64frombits(binary.LittleEndian.Uint64(hdr))
+	end := math.Float64frombits(binary.LittleEndian.Uint64(hdr[8:]))
+	states := make([]clocksync.SyncState, nprocs)
+	for r, b := range app[1:] {
+		if len(b)%16 != 0 {
+			return nil, 0, 0, fmt.Errorf("rank %d model blob is %d bytes, not a multiple of 16", r, len(b))
+		}
+		for i := 0; i < len(b); i += 16 {
+			states[r].Models = append(states[r].Models, clock.LinearModel{
+				Slope:     math.Float64frombits(binary.LittleEndian.Uint64(b[i:])),
+				Intercept: math.Float64frombits(binary.LittleEndian.Uint64(b[i+8:])),
+			})
+		}
+	}
+	return states, t0, end, nil
+}
+
+func appendF64s(b []byte, vs ...float64) []byte {
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hclocksync/internal/harness"
+)
+
+// memCkpt is an in-memory harness.TaskCheckpoint: what the sweep ledger
+// hands a phased task, minus the file.
+type memCkpt struct {
+	cut  int
+	snap []byte
+}
+
+func (m *memCkpt) Latest() (int, []byte, bool) { return m.cut, m.snap, m.cut > 0 }
+func (m *memCkpt) Save(cut int, snap []byte) {
+	m.cut, m.snap = cut, append([]byte(nil), snap...)
+}
+
+// The acceptance property of the checkpoint subsystem, at the level of one
+// mpirun: an uninterrupted phased run, a checkpointing run, and a run
+// resumed in a "fresh process" from the saved cut all produce the same
+// SyncRun, bit for bit.
+func TestSyncAccuracyPhasedResumeMatchesUninterrupted(t *testing.T) {
+	cfg := TinyFig3Config()
+	check := cfg.Check
+	check.WaitTime = cfg.WaitTime
+	for _, alg := range cfg.Algorithms[:2] { // HCA and HCA2 keep this fast
+		alg := alg
+		t.Run(alg.Name(), func(t *testing.T) {
+			seed := harness.DeriveSeed("fig3cut", "run0", cfg.Job.Seed)
+
+			plain, err := syncAccuracyRunPhased(cfg.Job, alg, 0, seed, cfg.WaitTime, check, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			saver := &memCkpt{}
+			saved, err := syncAccuracyRunPhased(cfg.Job, alg, 0, seed, cfg.WaitTime, check, saver)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if saver.cut != 1 || len(saver.snap) == 0 {
+				t.Fatalf("no snapshot saved at the cut (cut=%d, %d bytes)", saver.cut, len(saver.snap))
+			}
+			if !reflect.DeepEqual(saved, plain) {
+				t.Fatalf("checkpointing changed the result:\n got %+v\nwant %+v", saved, plain)
+			}
+
+			// "Kill" after phase A: a fresh invocation sees only the saved
+			// snapshot and must replay phase B to the identical result.
+			resumed, err := syncAccuracyRunPhased(cfg.Job, alg, 0, seed, cfg.WaitTime, check, saver)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(resumed, plain) {
+				t.Fatalf("resumed run diverged:\n got %+v\nwant %+v", resumed, plain)
+			}
+		})
+	}
+}
+
+// A whole cut-mode suite replayed from its ledger renders byte-identical
+// output with every task served as a checkpoint hit.
+func TestSyncAccuracySuiteResumesFromLedger(t *testing.T) {
+	cfg := TinyFig3Config()
+	cfg.Cut = true
+	cfg.NRuns = 1
+	path := t.TempDir() + "/fig3.ckpt"
+
+	render := func(eng *harness.Engine) string {
+		res, err := RunSyncAccuracy(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		res.Print(&b)
+		return b.String()
+	}
+
+	ck := harness.NewCheckpointer(path, 1, "ledger-test")
+	if err := ck.Load(); err != nil {
+		t.Fatal(err)
+	}
+	first := render(harness.New(harness.Options{Jobs: 4, Version: "ledger-test", Checkpoint: ck}))
+	if err := ck.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	ck2 := harness.NewCheckpointer(path, 1, "ledger-test")
+	if err := ck2.Load(); err != nil {
+		t.Fatal(err)
+	}
+	eng2 := harness.New(harness.Options{Jobs: 4, Version: "ledger-test", Checkpoint: ck2})
+	second := render(eng2)
+	if second != first {
+		t.Fatal("ledger-resumed suite output differs from the original run")
+	}
+	m := eng2.Manifests()[0]
+	if m.CheckpointHits != m.Sims || m.Sims == 0 {
+		t.Fatalf("resume recomputed work: %d/%d checkpoint hits", m.CheckpointHits, m.Sims)
+	}
+}
+
+// Cut mode must not collide with unphased results in the cache: the two
+// configurations key differently (and false keeps the legacy key).
+func TestSyncTaskCutChangesCacheKey(t *testing.T) {
+	cfg := TinyFig3Config()
+	base := syncTask{Job: cfg.Job, Alg: "a", WaitTime: 2, Check: "c", Run: 0}
+	cut := base
+	cut.Cut = true
+	k1, err := harness.CacheKey("v", "fig3", "t", 1, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := harness.CacheKey("v", "fig3", "t", 1, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("Cut flag does not separate cache keys")
+	}
+}

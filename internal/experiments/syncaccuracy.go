@@ -23,6 +23,14 @@ type SyncAccuracyConfig struct {
 	NRuns      int
 	WaitTime   float64
 	Check      clocksync.CheckConfig
+	// Cut runs each mpirun as two session phases split at the end-of-sync
+	// barrier (sync, then accuracy check), snapshotting the whole job at
+	// the cut when the engine has a checkpointer — a killed sweep resumes
+	// from the cut instead of re-synchronizing. Phase respawn happens at
+	// the global virtual time of the cut, so phased results are
+	// deterministic but not byte-identical to unphased ones; the flag is
+	// part of the cache key.
+	Cut bool
 }
 
 // SyncRun is one (algorithm, mpirun) outcome.
@@ -52,6 +60,9 @@ type syncTask struct {
 	WaitTime float64
 	Check    string
 	Run      int
+	// Cut is omitted when false so enabling phased execution leaves the
+	// cache keys of every existing unphased result untouched.
+	Cut bool `json:",omitempty"`
 }
 
 // RunSyncAccuracy executes the harness: one engine task per (algorithm,
@@ -70,17 +81,25 @@ func RunSyncAccuracy(eng *harness.Engine, cfg SyncAccuracyConfig) (*SyncAccuracy
 	for _, alg := range cfg.Algorithms {
 		for run := 0; run < cfg.NRuns; run++ {
 			alg, run := alg, run
-			tasks = append(tasks, harness.Task[SyncRun]{
+			t := harness.Task[SyncRun]{
 				Name:    fmt.Sprintf("%s/run%d", alg.Name(), run),
 				SeedKey: seedKeyRun(run),
 				Config: syncTask{
 					Job: cfg.Job, Alg: desc(alg),
 					WaitTime: cfg.WaitTime, Check: desc(check), Run: run,
+					Cut: cfg.Cut,
 				},
-				Run: func(seed int64) (SyncRun, error) {
+			}
+			if cfg.Cut {
+				t.RunPhased = func(seed int64, ckpt harness.TaskCheckpoint) (SyncRun, error) {
+					return syncAccuracyRunPhased(cfg.Job, alg, run, seed, cfg.WaitTime, check, ckpt)
+				}
+			} else {
+				t.Run = func(seed int64) (SyncRun, error) {
 					return syncAccuracyRun(cfg.Job, alg, run, seed, cfg.WaitTime, check)
-				},
-			})
+				}
+			}
+			tasks = append(tasks, t)
 		}
 	}
 	runs, err := harness.Run(eng, "syncaccuracy", cfg.Job.Seed, tasks)

@@ -24,6 +24,8 @@ package faults
 import (
 	"math"
 	"math/rand"
+
+	"hclocksync/internal/detrand"
 )
 
 // Crash is a crash-stop fault: world rank Rank halts permanently at true
@@ -245,20 +247,25 @@ func nonRootPerm(rng *rand.Rand, nprocs, n int) []int {
 // running simulation process (the simulation is sequential), so it needs no
 // locking.
 type Injector struct {
-	plan    Plan
+	plan Plan
+	// msgSrc/rng is the per-message fault stream; the counting source is
+	// what lets a checkpoint capture its position (see InjectorState).
+	msgSrc  *detrand.Source
 	rng     *rand.Rand
 	crashAt map[int]float64
 	byzBias map[int]float64
-	// byzRng drives per-timestamp Byzantine jitter. It is separate from the
-	// message-fault stream so adding Byzantine ranks to a plan does not
-	// shift the drop/duplicate coin sequence, and vice versa.
+	// byzSrc/byzRng drives per-timestamp Byzantine jitter. It is separate
+	// from the message-fault stream so adding Byzantine ranks to a plan does
+	// not shift the drop/duplicate coin sequence, and vice versa.
+	byzSrc *detrand.Source
 	byzRng *rand.Rand
 }
 
 // NewInjector builds an injector for plan. The per-message stream is seeded
 // from plan.Seed.
 func NewInjector(plan Plan) *Injector {
-	in := &Injector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+	in := &Injector{plan: plan, msgSrc: detrand.New(plan.Seed)}
+	in.rng = rand.New(in.msgSrc)
 	if len(plan.Crashes) > 0 {
 		in.crashAt = make(map[int]float64, len(plan.Crashes))
 		for _, c := range plan.Crashes {
@@ -272,7 +279,8 @@ func NewInjector(plan Plan) *Injector {
 		for _, b := range plan.Byz {
 			in.byzBias[b.Rank] = b.Bias
 		}
-		in.byzRng = rand.New(rand.NewSource(plan.Seed ^ 0x2B7A11CE))
+		in.byzSrc = detrand.New(plan.Seed ^ 0x2B7A11CE)
+		in.byzRng = rand.New(in.byzSrc)
 	}
 	return in
 }

@@ -45,6 +45,10 @@ type Options struct {
 	Version string
 	// Reporter receives progress events. Nil disables reporting.
 	Reporter Reporter
+	// Checkpoint enables the sweep ledger: finished results and in-flight
+	// cut snapshots are persisted so a killed run can resume. Nil disables
+	// checkpointing (phased tasks then run uninterrupted, without cuts).
+	Checkpoint *Checkpointer
 }
 
 // Engine executes suites of independent simulation tasks on a worker pool.
@@ -55,6 +59,7 @@ type Engine struct {
 	cache    *Cache
 	version  string
 	reporter Reporter
+	ckpt     *Checkpointer
 
 	mu        sync.Mutex
 	manifests []*Manifest
@@ -66,6 +71,7 @@ func New(opts Options) *Engine {
 		jobs:     opts.Jobs,
 		version:  opts.Version,
 		reporter: opts.Reporter,
+		ckpt:     opts.Checkpoint,
 	}
 	if e.jobs <= 0 {
 		e.jobs = runtime.NumCPU()

@@ -14,8 +14,11 @@ type TaskRecord struct {
 	CacheKey string          `json:"cache_key,omitempty"`
 	Config   json.RawMessage `json:"config,omitempty"`
 	CacheHit bool            `json:"cache_hit"`
-	WallSec  float64         `json:"wall_s"`
-	Error    string          `json:"error,omitempty"`
+	// CheckpointHit marks a result served from a sweep ledger — a task a
+	// previous, killed invocation had already finished.
+	CheckpointHit bool    `json:"checkpoint_hit,omitempty"`
+	WallSec       float64 `json:"wall_s"`
+	Error         string  `json:"error,omitempty"`
 }
 
 // Manifest records one suite run: the configuration of every task, the
@@ -23,17 +26,19 @@ type TaskRecord struct {
 // reproducibility receipt — enough to re-derive or audit every simulation
 // of the run.
 type Manifest struct {
-	Suite       string       `json:"suite"`
-	Version     string       `json:"version"`
-	Jobs        int          `json:"jobs"`
-	BaseSeed    int64        `json:"base_seed"`
-	Started     time.Time    `json:"started"`
-	WallSec     float64      `json:"wall_s"`
-	Sims        int          `json:"sims"`
-	SimsPerSec  float64      `json:"sims_per_sec"`
-	CacheHits   int          `json:"cache_hits"`
-	CacheMisses int          `json:"cache_misses"`
-	Tasks       []TaskRecord `json:"tasks"`
+	Suite       string    `json:"suite"`
+	Version     string    `json:"version"`
+	Jobs        int       `json:"jobs"`
+	BaseSeed    int64     `json:"base_seed"`
+	Started     time.Time `json:"started"`
+	WallSec     float64   `json:"wall_s"`
+	Sims        int       `json:"sims"`
+	SimsPerSec  float64   `json:"sims_per_sec"`
+	CacheHits   int       `json:"cache_hits"`
+	CacheMisses int       `json:"cache_misses"`
+	// CheckpointHits counts tasks served from a sweep ledger on resume.
+	CheckpointHits int          `json:"checkpoint_hits,omitempty"`
+	Tasks          []TaskRecord `json:"tasks"`
 }
 
 // HitRate returns the fraction of tasks served from cache, 0 when empty.

@@ -30,6 +30,11 @@ type Task[R any] struct {
 	// Run executes the task with the derived seed. The result must be a
 	// JSON-round-trippable value for caching to engage.
 	Run func(seed int64) (R, error)
+	// RunPhased, when non-nil, is used instead of Run. It receives the
+	// engine's per-task checkpoint handle (nil when the engine has no
+	// checkpointer) and is expected to save a cut snapshot at each phase
+	// boundary and resume from Latest after a crash.
+	RunPhased func(seed int64, ckpt TaskCheckpoint) (R, error)
 }
 
 // Run executes tasks through e's worker pool and returns their results in
@@ -73,10 +78,23 @@ func Run[R any](e *Engine, suite string, baseSeed int64, tasks []Task[R]) ([]R, 
 			failed.Store(true)
 		} else {
 			rec.CacheKey = key
-			if e.cache.Get(key, &results[i]) {
+			switch {
+			case e.cache.Get(key, &results[i]):
 				rec.CacheHit = true
-			} else {
-				res, err := t.Run(seed)
+			case e.ckpt.Lookup(key, &results[i]):
+				// A finished result from a previous (killed) run of this
+				// sweep; the ledger key embeds version+config+seed exactly
+				// like the cache, so serving it is as safe as a cache hit.
+				rec.CheckpointHit = true
+				e.cache.Put(key, e.version, suite, name, seed, t.Config, results[i])
+			default:
+				var res R
+				var err error
+				if t.RunPhased != nil {
+					res, err = t.RunPhased(seed, e.ckpt.Task(suite, name))
+				} else {
+					res, err = t.Run(seed)
+				}
 				if err != nil {
 					errs[i] = fmt.Errorf("%s/%s: %w", suite, name, err)
 					rec.Error = errs[i].Error()
@@ -84,6 +102,7 @@ func Run[R any](e *Engine, suite string, baseSeed int64, tasks []Task[R]) ([]R, 
 				} else {
 					results[i] = res
 					e.cache.Put(key, e.version, suite, name, seed, t.Config, res)
+					e.ckpt.Record(suite, name, key, res)
 				}
 			}
 		}
@@ -139,9 +158,12 @@ func Run[R any](e *Engine, suite string, baseSeed int64, tasks []Task[R]) ([]R, 
 		m.SimsPerSec = float64(n) / m.WallSec
 	}
 	for _, r := range recs {
-		if r.CacheHit {
+		switch {
+		case r.CacheHit:
 			m.CacheHits++
-		} else if r.Error == "" && r.CacheKey != "" {
+		case r.CheckpointHit:
+			m.CheckpointHits++
+		case r.Error == "" && r.CacheKey != "":
 			m.CacheMisses++
 		}
 	}

@@ -125,11 +125,23 @@ func Run(cfg Config, main func(p *Proc)) error {
 // caller to run several jobs (mpiruns) against the same machine instance —
 // note the clocks keep drifting across jobs since they share the machine.
 func RunOn(env *sim.Env, machine *cluster.Machine, cfg Config, main func(p *Proc)) error {
+	w, err := newWorld(env, machine, cfg)
+	if err != nil {
+		return err
+	}
+	w.spawnMain(main)
+	return env.Run()
+}
+
+// newWorld builds the job's shared state and its rank handles without
+// spawning any sim processes. RunOn spawns immediately; Session (the
+// checkpointable path) spawns once per phase.
+func newWorld(env *sim.Env, machine *cluster.Machine, cfg Config) (*World, error) {
 	if cfg.NProcs == 0 {
 		cfg.NProcs = machine.NProcs()
 	}
 	if cfg.NProcs > machine.NProcs() {
-		return fmt.Errorf("mpi: %d procs requested but machine has %d ranks placed",
+		return nil, fmt.Errorf("mpi: %d procs requested but machine has %d ranks placed",
 			cfg.NProcs, machine.NProcs())
 	}
 	w := &World{
@@ -167,15 +179,19 @@ func RunOn(env *sim.Env, machine *cluster.Machine, cfg Config, main func(p *Proc
 		p.comm = &Comm{p: p, id: 0, ranks: ranks, rank: r}
 		w.procs = append(w.procs, p)
 	}
-	// Spawn after all procs exist so ranks can address each other.
+	return w, nil
+}
+
+// spawnMain spawns one sim process per rank, all running main (in rank
+// order — the spawn order is part of the determinism contract).
+func (w *World) spawnMain(main func(p *Proc)) {
 	for _, p := range w.procs {
 		p := p
-		p.sp = env.Spawn(func(sp *sim.Proc) {
+		p.sp = w.env.Spawn(func(sp *sim.Proc) {
 			sp.Ctx = p
 			main(p)
 		})
 	}
-	return env.Run()
 }
 
 // Rank returns the process's rank in the world communicator.

@@ -25,16 +25,22 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+
+	"hclocksync/internal/detrand"
 )
 
 // Env is the simulation kernel. Create one with NewEnv, add processes with
 // Spawn, then call Run.
 type Env struct {
-	now     float64
-	events  eventQueue
-	seq     int64
+	now    float64
+	events eventQueue
+	seq    int64
+	// src is the kernel RNG's draw-counting source; rng draws through it.
+	// The counter is what lets Snapshot capture the stream position.
+	src     *detrand.Source
 	rng     *rand.Rand
 	procs   []*Proc
+	spawned int // processes ever spawned, including before a Snapshot cut
 	failure any // first panic value recovered from a process
 	failed  *Proc
 	// drained receives the baton when the event queue empties (or a process
@@ -46,8 +52,10 @@ type Env struct {
 // NewEnv returns a new simulation environment whose random source is seeded
 // with seed. Virtual time starts at 0 and is measured in seconds.
 func NewEnv(seed int64) *Env {
+	src := detrand.New(seed)
 	return &Env{
-		rng:     rand.New(rand.NewSource(seed)),
+		src:     src,
+		rng:     rand.New(src),
 		drained: make(chan struct{}, 1),
 	}
 }
@@ -100,10 +108,11 @@ func (p *Proc) Now() float64 { return p.env.now }
 // current virtual time. It returns immediately; fn runs during Run.
 func (e *Env) Spawn(fn func(p *Proc)) *Proc {
 	p := &Proc{
-		id:     len(e.procs),
+		id:     e.spawned,
 		env:    e,
 		resume: make(chan struct{}, 1),
 	}
+	e.spawned++
 	e.procs = append(e.procs, p)
 	go func() {
 		<-p.resume

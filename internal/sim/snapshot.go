@@ -1,0 +1,83 @@
+package sim
+
+// Snapshot support: capturing the kernel at a quiescent virtual-time cut.
+//
+// A process is a goroutine, and goroutine stacks cannot be serialized, so
+// the kernel can only be captured when no process holds live stack state:
+// every spawned process has returned and the event heap has drained. A
+// checkpointable workload therefore runs as a sequence of *phases* — each
+// phase's processes run to completion, Run returns, and the boundary is a
+// quiescent cut where the whole kernel state is four plain numbers. The
+// MPI layer (mpi.Session) structures jobs this way and carries the
+// higher-level state (mailboxes, clocks) in its own snapshot.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hclocksync/internal/detrand"
+)
+
+// EnvState is the complete kernel state at a quiescent cut: the virtual
+// time, the event sequence counter (the determinism tie-break), the RNG
+// stream position, and the number of processes ever spawned (so process
+// IDs keep incrementing identically after a resume).
+type EnvState struct {
+	Now      float64
+	Seq      int64
+	Seed     int64
+	RngDraws uint64
+	Spawned  int
+}
+
+// NotQuiescentError is returned by Snapshot when the kernel still holds
+// state that only lives on process stacks: pending events, or spawned
+// processes that have not returned.
+type NotQuiescentError struct {
+	Pending int   // events still scheduled
+	Running []int // IDs of processes that have not returned
+}
+
+func (e *NotQuiescentError) Error() string {
+	return fmt.Sprintf("sim: not quiescent: %d events pending, %d processes still live %v",
+		e.Pending, len(e.Running), e.Running)
+}
+
+// Snapshot captures the kernel state at a quiescent cut. It fails with a
+// *NotQuiescentError if events are still scheduled or any process has not
+// returned — the cut must come after Run has drained a phase.
+func (e *Env) Snapshot() (EnvState, error) {
+	var running []int
+	for _, p := range e.procs {
+		if !p.done {
+			running = append(running, p.id)
+		}
+	}
+	if e.events.len() > 0 || len(running) > 0 {
+		return EnvState{}, &NotQuiescentError{Pending: e.events.len(), Running: running}
+	}
+	return EnvState{
+		Now:      e.now,
+		Seq:      e.seq,
+		Seed:     e.src.SeedValue(),
+		RngDraws: e.src.Draws(),
+		Spawned:  e.spawned,
+	}, nil
+}
+
+// ResumeEnv rebuilds a kernel from a quiescent-cut state in a fresh
+// process: virtual time and the sequence counter continue where they
+// stopped, and the RNG stream is fast-forwarded to its captured position.
+// Processes spawned afterwards behave exactly as if they had been spawned
+// on the original environment at the cut.
+func ResumeEnv(st EnvState) *Env {
+	src := detrand.Restore(st.Seed, st.RngDraws)
+	return &Env{
+		now:     st.Now,
+		seq:     st.Seq,
+		src:     src,
+		rng:     rand.New(src),
+		spawned: st.Spawned,
+		drained: make(chan struct{}, 1),
+	}
+}

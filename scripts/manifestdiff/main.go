@@ -1,0 +1,101 @@
+// Command manifestdiff compares two runexp manifest.json files for
+// semantic equality: same suites, same tasks, same seeds, same configs,
+// same cache keys, no errors on either side. Volatile telemetry — wall
+// times, start timestamps, sims/sec, worker counts, and cache/checkpoint
+// hit flags — is ignored, because it legitimately differs between a clean
+// run and a kill-and-resume run of the same sweep. scripts/kill_resume.sh
+// uses this to assert that a resumed sweep did the same work as an
+// uninterrupted one.
+//
+// Usage: manifestdiff A.json B.json — exits 1 with a report on mismatch.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hclocksync/internal/harness"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: manifestdiff A.json B.json")
+		os.Exit(2)
+	}
+	a, err := load(os.Args[1])
+	if err != nil {
+		fail(err)
+	}
+	b, err := load(os.Args[2])
+	if err != nil {
+		fail(err)
+	}
+	diffs := compare(a, b)
+	for _, d := range diffs {
+		fmt.Fprintln(os.Stderr, "manifestdiff:", d)
+	}
+	if len(diffs) > 0 {
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*harness.RunManifest, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m harness.RunManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &m, nil
+}
+
+func compare(a, b *harness.RunManifest) []string {
+	var diffs []string
+	if a.Version != b.Version {
+		diffs = append(diffs, fmt.Sprintf("version: %q vs %q", a.Version, b.Version))
+	}
+	if len(a.Suites) != len(b.Suites) {
+		return append(diffs, fmt.Sprintf("suite count: %d vs %d", len(a.Suites), len(b.Suites)))
+	}
+	for i := range a.Suites {
+		sa, sb := a.Suites[i], b.Suites[i]
+		at := fmt.Sprintf("suite %s", sa.Suite)
+		if sa.Suite != sb.Suite {
+			diffs = append(diffs, fmt.Sprintf("suite[%d]: %q vs %q", i, sa.Suite, sb.Suite))
+			continue
+		}
+		if sa.BaseSeed != sb.BaseSeed {
+			diffs = append(diffs, fmt.Sprintf("%s: base seed %d vs %d", at, sa.BaseSeed, sb.BaseSeed))
+		}
+		if len(sa.Tasks) != len(sb.Tasks) {
+			diffs = append(diffs, fmt.Sprintf("%s: task count %d vs %d", at, len(sa.Tasks), len(sb.Tasks)))
+			continue
+		}
+		for j := range sa.Tasks {
+			ta, tb := sa.Tasks[j], sb.Tasks[j]
+			switch {
+			case ta.Name != tb.Name:
+				diffs = append(diffs, fmt.Sprintf("%s task[%d]: name %q vs %q", at, j, ta.Name, tb.Name))
+			case ta.Seed != tb.Seed:
+				diffs = append(diffs, fmt.Sprintf("%s/%s: seed %d vs %d", at, ta.Name, ta.Seed, tb.Seed))
+			case ta.SeedKey != tb.SeedKey:
+				diffs = append(diffs, fmt.Sprintf("%s/%s: seed key %q vs %q", at, ta.Name, ta.SeedKey, tb.SeedKey))
+			case ta.CacheKey != tb.CacheKey:
+				diffs = append(diffs, fmt.Sprintf("%s/%s: cache key %s vs %s", at, ta.Name, ta.CacheKey, tb.CacheKey))
+			case string(ta.Config) != string(tb.Config):
+				diffs = append(diffs, fmt.Sprintf("%s/%s: configs differ", at, ta.Name))
+			case ta.Error != "" || tb.Error != "":
+				diffs = append(diffs, fmt.Sprintf("%s/%s: errors %q vs %q", at, ta.Name, ta.Error, tb.Error))
+			}
+		}
+	}
+	return diffs
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "manifestdiff:", err)
+	os.Exit(1)
+}
