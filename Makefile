@@ -3,7 +3,7 @@ GO ?= go
 # The substrate micro-benchmarks: the sim kernel + MPI messaging building
 # blocks every experiment bottoms out in. `make bench` tracks them in
 # BENCH_sim.json, the perf trajectory future PRs regress against.
-SUBSTRATE_BENCH = BenchmarkSim|BenchmarkHCA3Sync|BenchmarkLinearFit|BenchmarkSnapshot
+SUBSTRATE_BENCH = BenchmarkSim|BenchmarkHCA3Sync|BenchmarkLinearFit|BenchmarkSnapshot|BenchmarkDispatch|BenchmarkKernelMemoryPerRank
 
 # Pinned third-party linter versions. CI installs exactly these; locally
 # they run only when already on PATH (this repo must build offline).
@@ -29,7 +29,7 @@ test:
 # snapshot that shared state while workers run, so all of them go under
 # the race detector.
 race:
-	$(GO) test -race ./internal/sim ./internal/mpi ./internal/harness ./internal/clocksync ./internal/faults ./internal/cluster ./internal/stats ./internal/checkpoint ./internal/detrand
+	$(GO) test -race ./internal/sim ./internal/scale ./internal/mpi ./internal/harness ./internal/clocksync ./internal/faults ./internal/cluster ./internal/stats ./internal/checkpoint ./internal/detrand
 
 # Short smoke run of the native fuzz targets (seed corpora always run as
 # part of `make test`; this explores beyond them).

@@ -8,6 +8,7 @@ package hclocksync_test
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"hclocksync/internal/bench"
@@ -17,6 +18,7 @@ import (
 	"hclocksync/internal/cluster"
 	"hclocksync/internal/experiments"
 	"hclocksync/internal/mpi"
+	"hclocksync/internal/sim"
 	"hclocksync/internal/stats"
 )
 
@@ -276,6 +278,67 @@ func BenchmarkSnapshot(b *testing.B) {
 		raw = checkpoint.EncodeSession(&checkpoint.Session{Cut: 1, State: st})
 	}
 	b.ReportMetric(float64(len(raw))/nprocs, "B/rank")
+}
+
+func BenchmarkDispatch(b *testing.B) {
+	// Per-event dispatch cost of the kernel's two process representations:
+	// a step proc is resumed by an inline function call, a fiber by a
+	// channel handoff (here always the single-fiber fast path, so no
+	// goroutine switch — the gap against "step" is pure baton overhead).
+	b.Run("step", func(b *testing.B) {
+		b.ReportAllocs()
+		env := sim.NewEnv(1)
+		remaining := b.N
+		env.SpawnStep(func(p *sim.Proc) sim.Control {
+			if remaining--; remaining <= 0 {
+				return sim.Stop()
+			}
+			return p.After(1e-6)
+		})
+		if err := env.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("fiber", func(b *testing.B) {
+		b.ReportAllocs()
+		env := sim.NewEnv(1)
+		env.Spawn(func(p *sim.Proc) {
+			for i := 1; i < b.N; i++ {
+				p.Sleep(1e-6)
+			}
+		})
+		if err := env.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+func BenchmarkKernelMemoryPerRank(b *testing.B) {
+	// Resident heap per rank of a spawned 100k-rank step-proc population —
+	// the number that decides whether 1M-rank simulations fit in memory.
+	// B/rank is measured; kernelB/rank is the compile-time lower bound
+	// (sim.KernelBytesPerProc) for comparison.
+	const ranks = 100_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		env := sim.NewEnv(1)
+		env.SpawnSteps(ranks, func(p *sim.Proc) sim.Control {
+			if p.Now() > 0 {
+				return sim.Stop()
+			}
+			return p.After(1e-6)
+		})
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		b.ReportMetric(float64(after.HeapAlloc-before.HeapAlloc)/ranks, "B/rank")
+		if err := env.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sim.KernelBytesPerProc()), "kernelB/rank")
 }
 
 func BenchmarkLinearFit(b *testing.B) {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	runexp -suite NAME[,NAME...]|all [-scale default|tiny] [-jobs N]
+//	runexp -suite NAME[,NAME...]|all [-scale default|tiny|smoke] [-jobs N]
 //	       [-cache DIR] [-outdir DIR] [-seed S] [-quiet]
 //	       [-checkpoint FILE] [-checkpoint-every N] [-restore FILE]
 //	       [-cpuprofile FILE] [-memprofile FILE]
@@ -61,11 +61,14 @@ import (
 // printer is the common surface of every experiment result.
 type printer interface{ Print(w io.Writer) }
 
-// suiteDef is one runnable entry of the registry.
+// suiteDef is one runnable entry of the registry. tiny selects the
+// test-sized configs; smoke (implies tiny elsewhere, see -scale) is only
+// distinguished by the scale suite, which keeps fig6 at the full 16384
+// ranks but trims it to a single run for the CI memory gate.
 type suiteDef struct {
 	name  string
 	title string
-	run   func(eng *harness.Engine, tiny bool, seed int64) (printer, error)
+	run   func(eng *harness.Engine, tiny, smoke bool, seed int64) (printer, error)
 }
 
 // seeded applies the -seed override to a Job-carrying config.
@@ -87,7 +90,7 @@ func registry(cut bool) []suiteDef {
 		return defFn()
 	}
 	syncSuite := func(name, title string, tinyFn, defFn func() experiments.SyncAccuracyConfig) suiteDef {
-		return suiteDef{name, title, func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+		return suiteDef{name, title, func(eng *harness.Engine, tiny, smoke bool, seed int64) (printer, error) {
 			cfg := pickSync(tiny, tinyFn, defFn)
 			cfg.Cut = cut
 			seeded(seed, &cfg.Job.Seed)
@@ -95,7 +98,7 @@ func registry(cut bool) []suiteDef {
 		}}
 	}
 	return []suiteDef{
-		{"fig2", "Fig. 2 — clock drift", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+		{"fig2", "Fig. 2 — clock drift", func(eng *harness.Engine, tiny, smoke bool, seed int64) (printer, error) {
 			cfg := experiments.DefaultFig2Config()
 			if tiny {
 				cfg = experiments.TinyFig2Config()
@@ -111,7 +114,7 @@ func registry(cut bool) []suiteDef {
 			experiments.TinyFig5Config, experiments.DefaultFig5Config),
 		syncSuite("fig6", "Fig. 6 — HCA3 vs H2HCA, Titan",
 			experiments.TinyFig6Config, experiments.DefaultFig6Config),
-		{"fig7", "Fig. 7 — benchmark suite x barrier algorithm", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+		{"fig7", "Fig. 7 — benchmark suite x barrier algorithm", func(eng *harness.Engine, tiny, smoke bool, seed int64) (printer, error) {
 			cfg := experiments.DefaultFig7Config()
 			if tiny {
 				cfg = experiments.TinyFig7Config()
@@ -119,7 +122,7 @@ func registry(cut bool) []suiteDef {
 			seeded(seed, &cfg.Job.Seed)
 			return experiments.RunFig7(eng, cfg)
 		}},
-		{"fig8", "Fig. 8 — barrier exit imbalance", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+		{"fig8", "Fig. 8 — barrier exit imbalance", func(eng *harness.Engine, tiny, smoke bool, seed int64) (printer, error) {
 			cfg := experiments.DefaultFig8Config()
 			if tiny {
 				cfg = experiments.TinyFig8Config()
@@ -127,7 +130,7 @@ func registry(cut bool) []suiteDef {
 			seeded(seed, &cfg.Job.Seed)
 			return experiments.RunFig8(eng, cfg)
 		}},
-		{"fig9", "Fig. 9 — OSU vs Round-Time across message sizes", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+		{"fig9", "Fig. 9 — OSU vs Round-Time across message sizes", func(eng *harness.Engine, tiny, smoke bool, seed int64) (printer, error) {
 			cfg := experiments.DefaultFig9Config()
 			if tiny {
 				cfg = experiments.TinyFig9Config()
@@ -135,7 +138,7 @@ func registry(cut bool) []suiteDef {
 			seeded(seed, &cfg.Job.Seed)
 			return experiments.RunFig9(eng, cfg)
 		}},
-		{"fig10", "Fig. 10 — AMG2013 trace Gantt", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+		{"fig10", "Fig. 10 — AMG2013 trace Gantt", func(eng *harness.Engine, tiny, smoke bool, seed int64) (printer, error) {
 			cfg := experiments.DefaultFig10Config()
 			if tiny {
 				cfg = experiments.TinyFig10Config()
@@ -143,7 +146,7 @@ func registry(cut bool) []suiteDef {
 			seeded(seed, &cfg.Job.Seed)
 			return experiments.RunFig10(eng, cfg)
 		}},
-		{"driftaware", "Offset-only vs drift-aware global clocks", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+		{"driftaware", "Offset-only vs drift-aware global clocks", func(eng *harness.Engine, tiny, smoke bool, seed int64) (printer, error) {
 			cfg := experiments.DefaultDriftAwareConfig()
 			if tiny {
 				cfg.NRuns = 2
@@ -151,7 +154,7 @@ func registry(cut bool) []suiteDef {
 			seeded(seed, &cfg.Job.Seed)
 			return experiments.RunDriftAware(eng, cfg)
 		}},
-		{"windowloss", "Window cascade vs Round-Time yield", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+		{"windowloss", "Window cascade vs Round-Time yield", func(eng *harness.Engine, tiny, smoke bool, seed int64) (printer, error) {
 			cfg := experiments.DefaultWindowLossConfig()
 			if tiny {
 				cfg.NRep = 100
@@ -159,7 +162,7 @@ func registry(cut bool) []suiteDef {
 			seeded(seed, &cfg.Job.Seed)
 			return experiments.RunWindowLoss(eng, cfg)
 		}},
-		{"tracecorr", "Timestamp correction over a long trace", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+		{"tracecorr", "Timestamp correction over a long trace", func(eng *harness.Engine, tiny, smoke bool, seed int64) (printer, error) {
 			cfg := experiments.DefaultTraceCorrectionConfig()
 			if tiny {
 				cfg.NIter, cfg.ComputePer = 20, 2
@@ -167,7 +170,7 @@ func registry(cut bool) []suiteDef {
 			seeded(seed, &cfg.Job.Seed)
 			return experiments.RunTraceCorrection(eng, cfg)
 		}},
-		{"tuning", "PGMPITuneLib-style algorithm selection", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+		{"tuning", "PGMPITuneLib-style algorithm selection", func(eng *harness.Engine, tiny, smoke bool, seed int64) (printer, error) {
 			cfg := experiments.DefaultTuningConfig()
 			if tiny {
 				cfg.NRep, cfg.MSizes = 10, []int{8, 8192}
@@ -175,7 +178,7 @@ func registry(cut bool) []suiteDef {
 			seeded(seed, &cfg.Job.Seed)
 			return experiments.RunTuning(eng, cfg)
 		}},
-		{"faults", "Faults — FT-HCA3 sync error under drop rate x crash count", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+		{"faults", "Faults — FT-HCA3 sync error under drop rate x crash count", func(eng *harness.Engine, tiny, smoke bool, seed int64) (printer, error) {
 			cfg := experiments.DefaultFaultsConfig()
 			if tiny {
 				cfg = experiments.TinyFaultsConfig()
@@ -183,7 +186,7 @@ func registry(cut bool) []suiteDef {
 			seeded(seed, &cfg.Job.Seed)
 			return experiments.RunFaults(eng, cfg)
 		}},
-		{"clockfaults", "Clock faults — LS vs robust sync under step x Byzantine", func(eng *harness.Engine, tiny bool, seed int64) (printer, error) {
+		{"clockfaults", "Clock faults — LS vs robust sync under step x Byzantine", func(eng *harness.Engine, tiny, smoke bool, seed int64) (printer, error) {
 			cfg := experiments.DefaultClockFaultsConfig()
 			if tiny {
 				cfg = experiments.TinyClockFaultsConfig()
@@ -191,12 +194,24 @@ func registry(cut bool) []suiteDef {
 			seeded(seed, &cfg.Job.Seed)
 			return experiments.RunClockFaults(eng, cfg)
 		}},
+		{"scale", "Scale — fig6 at the full 16k ranks + 100k-1M-rank step-proc sweeps", func(eng *harness.Engine, tiny, smoke bool, seed int64) (printer, error) {
+			cfg := experiments.DefaultScaleConfig()
+			switch {
+			case smoke:
+				cfg = experiments.SmokeScaleConfig()
+			case tiny:
+				cfg = experiments.TinyScaleConfig()
+			}
+			seeded(seed, &cfg.Seed)
+			seeded(seed, &cfg.Fig6.Job.Seed)
+			return experiments.RunScale(eng, cfg)
+		}},
 	}
 }
 
 func main() {
 	suites := flag.String("suite", "", "comma-separated suite names, or \"all\"")
-	scale := flag.String("scale", "default", "default or tiny")
+	scale := flag.String("scale", "default", "default, tiny, or smoke (tiny everywhere except the scale suite, which keeps fig6 at full rank count)")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "simulations to run concurrently")
 	cache := flag.String("cache", ".expcache", "result-cache directory (empty disables caching)")
 	outdir := flag.String("outdir", "", "write per-suite .txt outputs and manifest.json here")
@@ -237,6 +252,12 @@ func main() {
 		}()
 	}
 
+	switch *scale {
+	case "default", "tiny", "smoke":
+	default:
+		fmt.Fprintf(os.Stderr, "runexp: unknown -scale %q (default, tiny, or smoke)\n", *scale)
+		os.Exit(2)
+	}
 	if *restore != "" && *ckptPath != "" && *restore != *ckptPath {
 		fmt.Fprintln(os.Stderr, "runexp: -restore and -checkpoint must name the same ledger file")
 		os.Exit(2)
@@ -302,7 +323,7 @@ func main() {
 	start := time.Now() //synclint:wallclock -- wall-time telemetry for the manifest; never hashed
 
 	for _, s := range selected {
-		res, err := s.run(eng, *scale == "tiny", *seed)
+		res, err := s.run(eng, *scale != "default", *scale == "smoke", *seed)
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", s.name, err))
 		}

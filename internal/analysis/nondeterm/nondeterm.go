@@ -35,6 +35,7 @@ var DefaultGuarded = []string{
 	"hclocksync/internal/faults",
 	"hclocksync/internal/experiments",
 	"hclocksync/internal/harness",
+	"hclocksync/internal/scale",
 	"hclocksync/internal/detrand",
 	"hclocksync/internal/checkpoint",
 	"hclocksync/cmd/...",

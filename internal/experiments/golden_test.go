@@ -19,8 +19,8 @@ import (
 // The simulation kernel and MPI layer carry an observable determinism
 // contract: for a fixed seed, an experiment's rendered output is a fixed
 // byte sequence, at any -jobs setting and any GOMAXPROCS. The hashes in
-// testdata/golden_hashes.json pin fig3, fig7, and the faults and
-// clockfaults suites against silent drift: any change to the (t, seq)
+// testdata/golden_hashes.json pin fig3, fig7, the faults and clockfaults
+// suites, and the step-proc scale suite against silent drift: any change to the (t, seq)
 // tie-break, an RNG draw order, or message matching shows up here as a
 // hash mismatch. The fig3/fig7 hashes are additionally the zero-plan
 // byte-identity guarantee: they predate both the zero-allocation kernel
@@ -85,6 +85,19 @@ func goldenSuites() []goldenSuite {
 		}},
 		{"clockfaults", func(eng *harness.Engine) (string, error) {
 			res, err := RunClockFaults(eng, TinyClockFaultsConfig())
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			res.Print(&b)
+			return b.String(), nil
+		}},
+		{"scale", func(eng *harness.Engine) (string, error) {
+			// The step-proc synthetic sweeps: the only suite whose ranks are
+			// goroutine-free state machines end to end. Its stats are pure
+			// virtual-time quantities, so the byte-identity contract holds
+			// for the new representation exactly as for the fiber suites.
+			res, err := RunScale(eng, TinyScaleConfig())
 			if err != nil {
 				return "", err
 			}

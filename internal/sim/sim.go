@@ -1,23 +1,37 @@
-// Package sim implements a sequential, deterministic discrete-event
-// simulation kernel.
+// Package sim implements a sequential, deterministic, event-driven
+// discrete-event simulation kernel.
 //
 // A simulation consists of an Env (the kernel: virtual time, an event heap,
-// and a seeded random source) and a set of processes. Each process runs in
-// its own goroutine, but the kernel only ever lets one process execute at a
-// time: a process runs until it calls a blocking primitive (WaitUntil,
-// Sleep, Suspend), at which point control passes to the process owning the
-// next event. Ties in event time are broken by insertion order, so a run is
-// fully deterministic given the seed.
+// and a seeded random source) and a set of processes. The kernel is a
+// single dispatch loop over the event heap; only one process ever executes
+// at a time, and ties in event time are broken by insertion order, so a run
+// is fully deterministic given the seed.
+//
+// Processes come in two representations with identical scheduling
+// semantics (proven equivalent by the differential test battery):
+//
+//   - Step procs (SpawnStep, SpawnSteps) are small state machines with no
+//     goroutine, no stack, and no channel: the dispatch loop calls the
+//     proc's step function inline and interprets the Control it returns
+//     (After, Until, Park, Stop). A step proc costs O(bytes) — one arena
+//     slot — so simulations reach 10^5–10^6 ranks; this is the
+//     representation the `scale` experiment suite is built on.
+//   - Fiber procs (Spawn) run a blocking-style function on a goroutine:
+//     the function calls WaitUntil, Sleep, or Suspend, and control passes
+//     directly from the yielding fiber to the next runnable one over a
+//     single buffered channel send, without bouncing through a central
+//     scheduler goroutine. Fibers cost a goroutine stack each; the
+//     direct-style MPI layer (internal/mpi) is written against them.
 //
 // The hot path is allocation-free: events are stored by value in an inline
-// 4-ary min-heap (no interface boxing, no per-event pointers), and control
-// transfers directly from the yielding process to the next runnable one
-// over a single buffered channel send, without bouncing through a central
-// scheduler goroutine. See DESIGN.md §8 for the measured effect.
+// 4-ary min-heap (no interface boxing, no per-event pointers), step procs
+// are resumed by a plain function call, and fiber handoff reuses one
+// capacity-1 channel per proc. See DESIGN.md §8 and §12 for the measured
+// effect.
 //
 // The package knows nothing about networks or clocks; higher layers
-// (internal/cluster, internal/mpi) build those on top of WaitUntil,
-// Suspend, and Wake.
+// (internal/cluster, internal/mpi, internal/scale) build those on top of
+// the blocking primitives and Control returns.
 package sim
 
 import (
@@ -30,7 +44,7 @@ import (
 )
 
 // Env is the simulation kernel. Create one with NewEnv, add processes with
-// Spawn, then call Run.
+// Spawn / SpawnStep / SpawnSteps, then call Run.
 type Env struct {
 	now    float64
 	events eventQueue
@@ -41,8 +55,11 @@ type Env struct {
 	rng     *rand.Rand
 	procs   []*Proc
 	spawned int // processes ever spawned, including before a Snapshot cut
-	failure any // first panic value recovered from a process
-	failed  *Proc
+	// processed counts events delivered to a live process — a deterministic
+	// measure of simulation work, reported by the scale suite.
+	processed uint64
+	failure   any // first panic value recovered from a process
+	failed    *Proc
 	// drained receives the baton when the event queue empties (or a process
 	// fails): whichever goroutine runs out of events hands control back to
 	// Run. Capacity 1 so the final handoff never blocks.
@@ -71,16 +88,28 @@ func (e *Env) Rand() *rand.Rand { return e.rng }
 // Procs returns all processes spawned so far.
 func (e *Env) Procs() []*Proc { return e.procs }
 
-// Proc is a simulated process. Its methods that block (WaitUntil, Sleep,
-// Suspend) must only be called from within the process's own function.
+// Processed returns the number of events delivered to live processes so
+// far. It is deterministic for a fixed seed and workload, but it is a
+// diagnostic, not part of EnvState: a resumed kernel restarts the count.
+func (e *Env) Processed() uint64 { return e.processed }
+
+// Proc is a simulated process — a fiber (Spawn) or a step proc (SpawnStep).
+// The blocking methods (WaitUntil, Sleep, Suspend) must only be called from
+// within a fiber's own function; step procs express the same transitions
+// through the Control values their step function returns.
 type Proc struct {
 	id  int
 	env *Env
-	// resume carries the run baton. Capacity 1: a dispatching process may
-	// pick its own next event and reclaim the baton without parking, which
-	// is the single-process fast path (no goroutine switch at all).
+	// resume carries the run baton of a fiber. Capacity 1: a dispatching
+	// fiber may pick its own next event and reclaim the baton without
+	// parking, which is the single-fiber fast path (no goroutine switch at
+	// all). nil for step procs, which need no baton — the dispatch loop
+	// calls them inline.
 	resume chan struct{}
-	done   bool
+	// step is the continuation of a step proc; nil for fibers. The proc is
+	// resumed by calling it and interpreting the returned Control.
+	step StepFunc
+	done bool
 	// suspended reports that the process is parked with no scheduled wake
 	// event; some other process must Wake it.
 	suspended bool
@@ -91,7 +120,9 @@ type Proc struct {
 	// without the losing event firing spuriously later.
 	gen int64
 	// Ctx is an arbitrary per-process value for higher layers (e.g. the
-	// MPI rank state). The sim kernel never touches it.
+	// MPI rank state). The sim kernel never touches it. Large step-proc
+	// populations should prefer state arrays indexed by ID to avoid the
+	// per-proc boxing.
 	Ctx any
 }
 
@@ -104,8 +135,10 @@ func (p *Proc) Env() *Env { return p.env }
 // Now returns the current virtual time.
 func (p *Proc) Now() float64 { return p.env.now }
 
-// Spawn creates a new process running fn and schedules it to start at the
-// current virtual time. It returns immediately; fn runs during Run.
+// Spawn creates a new fiber process running fn and schedules it to start at
+// the current virtual time. It returns immediately; fn runs during Run.
+// Each fiber costs a goroutine (and its stack); populations beyond a few
+// tens of thousands of procs should use SpawnSteps instead.
 func (e *Env) Spawn(fn func(p *Proc)) *Proc {
 	p := &Proc{
 		id:     e.spawned,
@@ -142,22 +175,29 @@ func (e *Env) schedule(t float64, p *Proc) {
 	e.events.push(event{t: t, seq: e.seq, p: p, gen: p.gen})
 }
 
-// dispatch pops events until it finds a live one and hands the baton to its
-// process; if the queue drains (or a process failed), the baton goes back
-// to Run. It is called by the goroutine that currently holds the baton.
+// dispatch is the kernel's event loop: it pops events until it finds a live
+// one and delivers it. A step proc is resumed inline — a function call on
+// the dispatching goroutine, no context switch — and the loop continues
+// with whatever it scheduled; a fiber gets the baton over its resume
+// channel and the loop ends (the fiber calls dispatch again when it
+// yields). If the queue drains, or a process failed, the baton goes back to
+// Run. It is called by the goroutine that currently holds the baton.
 //synclint:allocfree
 func (e *Env) dispatch() {
-	if e.failure == nil {
-		for e.events.len() > 0 {
-			ev := e.events.pop()
-			if ev.p.done || ev.gen != ev.p.gen {
-				continue
-			}
-			e.now = ev.t
-			ev.p.gen++ // invalidate any other pending wake-ups for this process
-			ev.p.resume <- struct{}{}
-			return
+	for e.failure == nil && e.events.len() > 0 {
+		ev := e.events.pop()
+		if ev.p.done || ev.gen != ev.p.gen {
+			continue
 		}
+		e.now = ev.t
+		ev.p.gen++ // invalidate any other pending wake-ups for this process
+		e.processed++
+		if ev.p.step != nil {
+			e.runStep(ev.p)
+			continue
+		}
+		ev.p.resume <- struct{}{}
+		return
 	}
 	e.drained <- struct{}{}
 }
@@ -200,10 +240,13 @@ func (e *Env) Run() error {
 }
 
 // block hands the baton to the next runnable process and waits for it to
-// come back. If the next event belongs to the calling process itself, the
+// come back. If the next event belongs to the calling fiber itself, the
 // buffered resume channel makes the round trip free of goroutine switches.
 //synclint:allocfree
 func (p *Proc) block() {
+	if p.resume == nil {
+		panic("sim: blocking primitive called from a step proc (return a Control instead)")
+	}
 	p.env.dispatch()
 	<-p.resume
 }
@@ -219,12 +262,15 @@ func (p *Proc) WaitUntil(t float64) {
 	p.block()
 }
 
-// Exit terminates the calling process immediately, as a crash-stop fault
+// Exit terminates the calling fiber immediately, as a crash-stop fault
 // would: deferred functions run, the process is marked done, and control
 // returns to the kernel. Messages it already sent stay in flight; processes
 // waiting on it block forever unless they use timeouts (Run then reports a
-// DeadlockError).
+// DeadlockError). A step proc crash-stops by returning Stop instead.
 func (p *Proc) Exit() {
+	if p.step != nil {
+		panic("sim: Exit called from a step proc (return Stop() instead)")
+	}
 	runtime.Goexit()
 }
 
@@ -242,7 +288,8 @@ func (p *Proc) Suspend() {
 }
 
 // Wake schedules process q to resume at time t (clamped to now). It is the
-// counterpart of Suspend and must be called from the running process.
+// counterpart of Suspend (fibers) and Park (step procs) and must be called
+// from the running process.
 //synclint:allocfree
 func (e *Env) Wake(q *Proc, t float64) {
 	e.schedule(t, q)
@@ -251,5 +298,5 @@ func (e *Env) Wake(q *Proc, t float64) {
 // Suspended reports whether the process is parked waiting for a Wake.
 func (p *Proc) Suspended() bool { return p.suspended }
 
-// Done reports whether the process function has returned.
+// Done reports whether the process has finished.
 func (p *Proc) Done() bool { return p.done }

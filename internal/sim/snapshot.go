@@ -2,9 +2,11 @@ package sim
 
 // Snapshot support: capturing the kernel at a quiescent virtual-time cut.
 //
-// A process is a goroutine, and goroutine stacks cannot be serialized, so
-// the kernel can only be captured when no process holds live stack state:
-// every spawned process has returned and the event heap has drained. A
+// Mid-run process state is not serializable from the outside: a fiber's
+// state is its goroutine stack, and a step proc's state lives in workload
+// records (plus its pending event) the kernel has no schema for. So the
+// kernel is only captured when no process holds live state at all: every
+// spawned process has finished and the event heap has drained. A
 // checkpointable workload therefore runs as a sequence of *phases* — each
 // phase's processes run to completion, Run returns, and the boundary is a
 // quiescent cut where the whole kernel state is four plain numbers. The
