@@ -5,13 +5,18 @@
 // Usage:
 //
 //	runexp -suite NAME[,NAME...]|all [-scale default|tiny|smoke] [-jobs N]
-//	       [-cache DIR] [-outdir DIR] [-seed S] [-quiet]
+//	       [-workers N] [-cache DIR] [-outdir DIR] [-seed S] [-quiet]
 //	       [-checkpoint FILE] [-checkpoint-every N] [-restore FILE]
 //	       [-cpuprofile FILE] [-memprofile FILE]
 //	runexp -list
 //
 // Each suite's simulations are fanned out across -jobs workers; for a fixed
-// seed the results are identical at any -jobs setting. Finished simulations
+// seed the results are identical at any -jobs setting. Orthogonally,
+// -workers N dispatches *each* simulation on N kernel workers under
+// conservative lookahead windows (sim.RunParallel, DESIGN.md §13) — today
+// that engages the scale suite's sharded step-proc sweeps, while
+// fiber-backed suites fall back to serial dispatch — and results stay
+// byte-identical at any value, which the golden-hash suite pins. Finished simulations
 // are stored content-addressed in -cache (default .expcache), so re-running
 // an interrupted or repeated invocation re-simulates only what is missing —
 // that is the resume story: kill runexp at any point and run the same
@@ -20,8 +25,9 @@
 // With -checkpoint, the run additionally maintains a single-file sweep
 // ledger (internal/checkpoint's sealed binary format, atomic
 // write-then-rename): every finished task's result and, for the
-// sync-accuracy suites — which then run phased — the latest mid-run cut
-// snapshot of each in-flight simulation. After a SIGKILL, rerunning the
+// sync-accuracy and fig7 suites — which then run phased (at the
+// end-of-sync barrier and between message sizes, respectively) — the
+// latest mid-run cut snapshot of each in-flight simulation. After a SIGKILL, rerunning the
 // same command line with -restore FILE serves finished tasks from the
 // ledger and resumes in-flight simulations from their last quiescent cut,
 // producing output byte-identical to an uninterrupted checkpointed run
@@ -79,10 +85,14 @@ func seeded(seed int64, base *int64) {
 }
 
 // registry lists the runnable suites. With cut set (checkpointing active)
-// the sync-accuracy suites run phased, so a killed sweep resumes from each
-// mpirun's last quiescent cut; phased results are deterministic but keyed
-// and hashed separately from unphased ones.
-func registry(cut bool) []suiteDef {
+// the sync-accuracy and fig7 suites run phased, so a killed sweep resumes
+// from each mpirun's last quiescent cut; phased results are deterministic
+// but keyed and hashed separately from unphased ones. workers is the kernel dispatch
+// parallelism (-workers): it reaches the scale suite's sharded step-proc
+// sweeps, where N > 1 engages sim.RunParallel, and the sync-accuracy jobs,
+// where today's fiber ranks make it a byte-identical no-op. It never enters
+// a cache key — for a fixed seed the output is identical at any value.
+func registry(cut bool, workers int) []suiteDef {
 	pickSync := func(tiny bool, tinyFn, defFn func() experiments.SyncAccuracyConfig) experiments.SyncAccuracyConfig {
 		if tiny {
 			return tinyFn()
@@ -93,6 +103,7 @@ func registry(cut bool) []suiteDef {
 		return suiteDef{name, title, func(eng *harness.Engine, tiny, smoke bool, seed int64) (printer, error) {
 			cfg := pickSync(tiny, tinyFn, defFn)
 			cfg.Cut = cut
+			cfg.Job.Workers = workers
 			seeded(seed, &cfg.Job.Seed)
 			return experiments.RunSyncAccuracy(eng, cfg)
 		}}
@@ -119,6 +130,8 @@ func registry(cut bool) []suiteDef {
 			if tiny {
 				cfg = experiments.TinyFig7Config()
 			}
+			cfg.Cut = cut
+			cfg.Job.Workers = workers
 			seeded(seed, &cfg.Job.Seed)
 			return experiments.RunFig7(eng, cfg)
 		}},
@@ -202,6 +215,8 @@ func registry(cut bool) []suiteDef {
 			case tiny:
 				cfg = experiments.TinyScaleConfig()
 			}
+			cfg.Workers = workers
+			cfg.Fig6.Job.Workers = workers
 			seeded(seed, &cfg.Seed)
 			seeded(seed, &cfg.Fig6.Job.Seed)
 			return experiments.RunScale(eng, cfg)
@@ -213,6 +228,7 @@ func main() {
 	suites := flag.String("suite", "", "comma-separated suite names, or \"all\"")
 	scale := flag.String("scale", "default", "default, tiny, or smoke (tiny everywhere except the scale suite, which keeps fig6 at full rank count)")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "simulations to run concurrently")
+	workers := flag.Int("workers", 1, "kernel dispatch workers per simulation (parallel DES; results are byte-identical at any value)")
 	cache := flag.String("cache", ".expcache", "result-cache directory (empty disables caching)")
 	outdir := flag.String("outdir", "", "write per-suite .txt outputs and manifest.json here")
 	seed := flag.Int64("seed", 0, "override every suite's base seed")
@@ -265,7 +281,7 @@ func main() {
 	if *ckptPath == "" {
 		*ckptPath = *restore
 	}
-	reg := registry(*ckptPath != "")
+	reg := registry(*ckptPath != "", *workers)
 	if *list {
 		for _, s := range reg {
 			fmt.Printf("%-12s %s\n", s.name, s.title)

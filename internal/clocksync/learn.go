@@ -64,8 +64,9 @@ func LearnClockModel(comm *mpi.Comm, p Params, ref, client int, clk clock.Clock)
 		}
 		return clock.LinearModel{}
 	case client:
-		xfit := make([]float64, p.NFitpoints)
-		yfit := make([]float64, p.NFitpoints)
+		buf := getSampleBuf(p.NFitpoints)
+		defer putSampleBuf(buf)
+		xfit, yfit := buf.x, buf.y
 		for i := 0; i < p.NFitpoints; i++ {
 			o := p.Offset.MeasureOffset(comm, clk, ref, client)
 			xfit[i] = o.Timestamp

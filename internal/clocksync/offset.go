@@ -141,8 +141,9 @@ func (m *MeanRTTOffset) MeasureOffset(comm *mpi.Comm, clk clock.Clock, ref, clie
 		}
 		return ClockOffset{}
 	}
-	locals := make([]float64, n)
-	offs := make([]float64, n)
+	buf := getSampleBuf(n)
+	defer putSampleBuf(buf)
+	locals, offs := buf.x, buf.y
 	for i := 0; i < n; i++ {
 		comm.SsendF64(ref, tagPing, 0)
 		refTime := comm.RecvF64(ref, tagPong)

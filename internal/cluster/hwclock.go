@@ -63,14 +63,25 @@ type disturbance struct {
 }
 
 // NewHWClock creates a clock from spec with its own deterministic random
-// stream (used only for skew wander).
+// stream (used only for skew wander). The stream and the wander segments it
+// feeds are materialized lazily on first read: segment n is a pure function
+// of (spec, seed, n), so a clock that is never read — e.g. the GTOD
+// population of a job that only times with mono clocks — costs no rand
+// state at all, and lazily-built clocks read identically to eager ones.
 func NewHWClock(spec ClockSpec, seed int64) *HWClock {
-	c := &HWClock{Spec: spec, seed: seed, rng: rand.New(rand.NewSource(seed))}
+	c := &HWClock{Spec: spec, seed: seed}
 	if spec.WanderInterval > 0 {
 		c.localStart = []float64{spec.Offset}
-		c.extend()
 	}
 	return c
+}
+
+// rand returns the clock's wander stream, creating it on first use.
+func (c *HWClock) rand() *rand.Rand {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.seed))
+	}
+	return c.rng
 }
 
 // Fork returns an independent clock with the same spec and seed. The fork
@@ -128,7 +139,7 @@ func (c *HWClock) extend() {
 	if rho == 0 {
 		rho = 1
 	}
-	c.wander = rho*c.wander + c.Spec.WanderSigma*c.rng.NormFloat64()
+	c.wander = rho*c.wander + c.Spec.WanderSigma*c.rand().NormFloat64()
 	skew := c.Spec.BaseSkew + c.wander
 	if skew <= -0.5 {
 		skew = -0.5 // keep the clock strictly monotonic
@@ -169,8 +180,9 @@ func (c *HWClock) trueWhenBase(local float64) float64 {
 	if c.Spec.WanderInterval <= 0 {
 		return (local - c.Spec.Offset) / (1 + c.Spec.BaseSkew)
 	}
-	// Extend segments until the reading is covered.
-	for c.localStart[len(c.localStart)-1] < local {
+	// Extend segments until the reading is covered (at least one, so the
+	// search below always has a segment to land in).
+	for len(c.skews) == 0 || c.localStart[len(c.localStart)-1] < local {
 		c.extend()
 	}
 	// Binary search for the segment containing the reading.

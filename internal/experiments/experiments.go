@@ -31,6 +31,10 @@ type Job struct {
 	ClockSource cluster.ClockSource
 	Barrier     mpi.BarrierAlg
 	Allreduce   mpi.AllreduceAlg
+	// Workers is the kernel dispatch parallelism (mpi.Config.Workers). An
+	// execution knob: excluded from serialization so cache keys — which
+	// embed the job — are identical at any value, as the results are.
+	Workers int `json:"-"`
 }
 
 // config converts the job to the MPI layer's configuration.
@@ -43,6 +47,7 @@ func (j Job) config() mpi.Config {
 		ClockSource: j.ClockSource,
 		Barrier:     j.Barrier,
 		Allreduce:   j.Allreduce,
+		Workers:     j.Workers,
 	}
 }
 

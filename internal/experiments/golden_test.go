@@ -74,6 +74,22 @@ func goldenSuites() []goldenSuite {
 			res.Print(&b)
 			return b.String(), nil
 		}},
+		{"fig7cut", func(eng *harness.Engine) (string, error) {
+			// The phased (checkpointable) fig7 pipeline: one session phase
+			// per message size. As with fig3cut, its schedule differs from
+			// the unphased cell, so it pins its own hash while the plain
+			// fig7 hash proves cut-mode support left the unphased path
+			// untouched.
+			cfg := TinyFig7Config()
+			cfg.Cut = true
+			res, err := RunFig7(eng, cfg)
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			res.Print(&b)
+			return b.String(), nil
+		}},
 		{"faults", func(eng *harness.Engine) (string, error) {
 			res, err := RunFaults(eng, TinyFaultsConfig())
 			if err != nil {
@@ -97,13 +113,26 @@ func goldenSuites() []goldenSuite {
 			// goroutine-free state machines end to end. Its stats are pure
 			// virtual-time quantities, so the byte-identity contract holds
 			// for the new representation exactly as for the fiber suites.
-			res, err := RunScale(eng, TinyScaleConfig())
-			if err != nil {
-				return "", err
+			// The sweeps run 8-way sharded; rendering at 1 and 4 kernel
+			// dispatch workers extends the pinned contract to parallel
+			// dispatch: the -workers knob must never move a byte.
+			var ref string
+			for _, w := range []int{1, 4} {
+				cfg := TinyScaleConfig()
+				cfg.Workers = w
+				res, err := RunScale(eng, cfg)
+				if err != nil {
+					return "", err
+				}
+				var b strings.Builder
+				res.Print(&b)
+				if ref == "" {
+					ref = b.String()
+				} else if b.String() != ref {
+					return "", fmt.Errorf("scale output at workers=4 differs from workers=1")
+				}
 			}
-			var b strings.Builder
-			res.Print(&b)
-			return b.String(), nil
+			return ref, nil
 		}},
 	}
 }

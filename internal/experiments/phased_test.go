@@ -104,6 +104,42 @@ func TestSyncAccuracySuiteResumesFromLedger(t *testing.T) {
 	}
 }
 
+// The same acceptance property for the phased fig7 cell: an uninterrupted
+// phased run, a checkpointing run (which saves a cut after every finished
+// message size), and a run resumed from a mid-cell cut all produce the same
+// rows, bit for bit.
+func TestFig7PhasedResumeMatchesUninterrupted(t *testing.T) {
+	cfg := TinyFig7Config()
+	suite, barrier := cfg.Suites[0], cfg.Barriers[0]
+	seed := harness.DeriveSeed("fig7cut", "cell", cfg.Job.Seed)
+
+	plain, err := fig7CellPhased(cfg, suite, barrier, seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saver := &memCkpt{}
+	saved, err := fig7CellPhased(cfg, suite, barrier, seed, saver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(cfg.MSizes) - 1; saver.cut != want || len(saver.snap) == 0 {
+		t.Fatalf("last saved cut = %d (%d bytes), want %d", saver.cut, len(saver.snap), want)
+	}
+	if !reflect.DeepEqual(saved, plain) {
+		t.Fatalf("checkpointing changed the result:\n got %+v\nwant %+v", saved, plain)
+	}
+
+	// "Kill" mid-cell: a fresh invocation sees only the last saved cut and
+	// must replay the remaining message sizes to the identical rows.
+	resumed, err := fig7CellPhased(cfg, suite, barrier, seed, saver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, plain) {
+		t.Fatalf("resumed run diverged:\n got %+v\nwant %+v", resumed, plain)
+	}
+}
+
 // Cut mode must not collide with unphased results in the cache: the two
 // configurations key differently (and false keeps the legacy key).
 func TestSyncTaskCutChangesCacheKey(t *testing.T) {

@@ -59,8 +59,12 @@ func (s *Session) RunPhase(main func(p *Proc)) error {
 			main(p)
 		})
 	}
-	return s.env.Run()
+	return runKernel(s.env, s.machine, s.world.cfg)
 }
+
+// Lookahead returns the job's conservative parallel-dispatch window width:
+// the machine's link-latency floor.
+func (s *Session) Lookahead() float64 { return s.machine.Spec.MinLinkDelay() }
 
 // Now returns the job's current virtual time.
 func (s *Session) Now() float64 { return s.env.Now() }

@@ -11,6 +11,18 @@ package scale
 // parent consumed its round-R report (the release for round R proves the
 // consumption). Slot overwrites therefore panic — a built-in self-check
 // that the alternation argument actually holds at any scale.
+//
+// With Shards > 1 the rank space is cut into contiguous shards and every
+// tree edge that crosses a shard boundary switches from the shared slot to
+// a kernel message (sim.Post at the link latency), which is the partition
+// contract parallel dispatch requires: shards map onto workers, intra-shard
+// edges stay shared-memory, and nothing crosses a worker boundary except
+// lookahead-delayed Posts. Incoming messages are materialized into the very
+// same edge slots on drain, so both transports feed one protocol (and one
+// set of alternation self-checks). The shard count is part of the
+// configuration — the protocol shape, and hence every timing, depends on
+// Shards but never on Workers, which is what keeps results byte-identical
+// at any worker count.
 
 import (
 	"errors"
@@ -28,7 +40,16 @@ type BarrierConfig struct {
 	Latency float64 // one-way message latency, seconds
 	SendGap float64 // serialization gap between consecutive release sends
 	Compute float64 // mean per-round local compute, seconds
-	Seed    int64
+	// Shards cuts the rank space into contiguous partitions; tree edges
+	// crossing a shard boundary use kernel messages instead of shared
+	// slots. Shards shapes the protocol and is part of the configuration
+	// (<= 1 means the legacy all-slots single-shard run).
+	Shards int `json:",omitempty"`
+	Seed   int64
+	// Workers is the kernel dispatch parallelism. It is an execution knob,
+	// excluded from serialization (and thus from harness cache keys):
+	// results are byte-identical at any value.
+	Workers int `json:"-"`
 }
 
 // BarrierStats is the deterministic outcome of a barrier run: identical for
@@ -91,6 +112,45 @@ func newBarrierSim(cfg BarrierConfig) *barrierSim {
 	return b
 }
 
+// shard returns the contiguous shard rank r belongs to.
+//
+//synclint:allocfree
+func (b *barrierSim) shard(r int) int {
+	if b.cfg.Shards <= 1 {
+		return 0
+	}
+	return r * b.cfg.Shards / b.cfg.Ranks
+}
+
+// drain materializes queued cross-shard messages into the same edge slots
+// the shared-memory transport uses: reports land in the sender child's
+// report slot, releases in this rank's release slot. From > r identifies a
+// report (heap-tree children always have larger IDs than their parent).
+//
+//synclint:allocfree
+func (b *barrierSim) drain(p *sim.Proc, r int) {
+	for {
+		m, ok := p.Recv()
+		if !ok {
+			return
+		}
+		var sl *brSlot
+		if int(m.From) > r {
+			sl = &b.report[m.From]
+			if sl.round != -1 {
+				panic("scale: barrier report slot overwrite (alternation violated)")
+			}
+		} else {
+			sl = &b.release[r]
+			if sl.round != -1 {
+				panic("scale: barrier release slot overwrite (alternation violated)")
+			}
+		}
+		sl.round = m.Kind
+		sl.at = p.Now()
+	}
+}
+
 // kids returns the half-open child ID range of rank r.
 //
 //synclint:allocfree
@@ -120,6 +180,7 @@ func (b *barrierSim) computeTime(r, round int) float64 {
 func (b *barrierSim) stepRank(p *sim.Proc) sim.Control {
 	r := p.ID()
 	st := &b.rank[r]
+	b.drain(p, r)
 	for {
 		switch st.phase {
 		case bpStart:
@@ -189,15 +250,20 @@ func (b *barrierSim) stepRank(p *sim.Proc) sim.Control {
 //
 //synclint:allocfree
 func (b *barrierSim) sendReport(p *sim.Proc, r int) {
+	st := &b.rank[r]
+	parent := (r - 1) / b.cfg.Arity
+	at := p.Now() + b.cfg.Latency
+	if b.shard(parent) != b.shard(r) {
+		p.Post(b.procs[parent], at, sim.Msg{From: int32(r), Kind: st.round})
+		return
+	}
 	sl := &b.report[r]
 	if sl.round != -1 {
 		panic("scale: barrier report slot overwrite (alternation violated)")
 	}
-	st := &b.rank[r]
-	at := p.Now() + b.cfg.Latency
 	sl.round = st.round
 	sl.at = at
-	b.env.Wake(b.procs[(r-1)/b.cfg.Arity], at)
+	b.env.Wake(b.procs[parent], at)
 }
 
 // releaseKids forwards the release down to r's children, serialized by
@@ -207,11 +273,15 @@ func (b *barrierSim) sendReport(p *sim.Proc, r int) {
 func (b *barrierSim) releaseKids(p *sim.Proc, r int, round int32) {
 	lo, hi := b.kids(r)
 	for c := lo; c < hi; c++ {
+		at := p.Now() + b.cfg.Latency + float64(c-lo)*b.cfg.SendGap
+		if b.shard(c) != b.shard(r) {
+			p.Post(b.procs[c], at, sim.Msg{From: int32(r), Kind: round})
+			continue
+		}
 		sl := &b.release[c]
 		if sl.round != -1 {
 			panic("scale: barrier release slot overwrite (alternation violated)")
 		}
-		at := p.Now() + b.cfg.Latency + float64(c-lo)*b.cfg.SendGap
 		sl.round = round
 		sl.at = at
 		b.env.Wake(b.procs[c], at)
@@ -260,7 +330,13 @@ func RunBarrier(cfg BarrierConfig) (BarrierStats, error) {
 		return BarrierStats{}, errBarrierConfig
 	}
 	b := newBarrierSim(cfg)
-	if err := b.env.Run(); err != nil {
+	err := b.env.RunParallel(sim.ParallelConfig{
+		Workers:   cfg.Workers,
+		Lookahead: cfg.Latency,
+		Shards:    cfg.Shards,
+		ShardOf:   b.shard,
+	})
+	if err != nil {
 		return BarrierStats{}, err
 	}
 	return b.stats(), nil

@@ -1,0 +1,155 @@
+package scale
+
+import (
+	"testing"
+
+	"hclocksync/internal/sim"
+)
+
+// runBarrierDoneAt runs one barrier config through RunParallel and returns
+// the per-rank completion times (a stronger signal than the aggregated
+// stats: any reordering or timing drift shows up at the rank level).
+func runBarrierDoneAt(t *testing.T, cfg BarrierConfig) ([]float64, BarrierStats) {
+	t.Helper()
+	b := newBarrierSim(cfg)
+	err := b.env.RunParallel(sim.ParallelConfig{
+		Workers:   cfg.Workers,
+		Lookahead: cfg.Latency,
+		Shards:    cfg.Shards,
+		ShardOf:   b.shard,
+	})
+	if err != nil {
+		t.Fatalf("barrier (ranks=%d shards=%d workers=%d): %v",
+			cfg.Ranks, cfg.Shards, cfg.Workers, err)
+	}
+	return b.doneAt, b.stats()
+}
+
+// runHierSyncState runs one hiersync config through RunParallel and returns
+// the per-rank completion times and errors.
+func runHierSyncState(t *testing.T, cfg HierSyncConfig) ([]float64, []float64, HierSyncStats) {
+	t.Helper()
+	h := newHierSim(cfg)
+	err := h.env.RunParallel(sim.ParallelConfig{
+		Workers:   cfg.Workers,
+		Lookahead: cfg.Latency,
+		Shards:    cfg.Shards,
+		ShardOf:   h.shard,
+	})
+	if err != nil {
+		t.Fatalf("hiersync (ranks=%d shards=%d workers=%d): %v",
+			cfg.Ranks, cfg.Shards, cfg.Workers, err)
+	}
+	errs := make([]float64, cfg.Ranks)
+	for r := range h.rank {
+		errs[r] = h.rank[r].err
+	}
+	return h.doneAt, errs, h.stats()
+}
+
+// TestBarrierShardedWorkerInvariance is the tentpole contract for the
+// barrier: at a fixed shard count, the per-rank timeline and every stat —
+// including the kernel event count — are byte-identical at any worker
+// count.
+func TestBarrierShardedWorkerInvariance(t *testing.T) {
+	for _, tc := range []struct {
+		ranks, arity, shards int
+	}{
+		{513, 4, 4}, {1000, 8, 8}, {96, 2, 3},
+	} {
+		cfg := testBarrierConfig(tc.ranks, tc.arity, 42)
+		cfg.Shards = tc.shards
+		cfg.Workers = 1
+		wantDone, wantStats := runBarrierDoneAt(t, cfg)
+		for _, w := range []int{2, 4, 8} {
+			cfg.Workers = w
+			gotDone, gotStats := runBarrierDoneAt(t, cfg)
+			if gotStats != wantStats {
+				t.Fatalf("ranks=%d shards=%d: stats differ at %d workers:\n%+v\n%+v",
+					tc.ranks, tc.shards, w, gotStats, wantStats)
+			}
+			for r := range wantDone {
+				if gotDone[r] != wantDone[r] {
+					t.Fatalf("ranks=%d shards=%d workers=%d: rank %d finished at %v, want %v",
+						tc.ranks, tc.shards, w, r, gotDone[r], wantDone[r])
+				}
+			}
+		}
+	}
+}
+
+// TestHierSyncShardedWorkerInvariance is the tentpole contract for the
+// hierarchical sync: per-rank completion times, per-rank errors, and every
+// stat are byte-identical at any worker count.
+func TestHierSyncShardedWorkerInvariance(t *testing.T) {
+	for _, tc := range []struct {
+		ranks, shards int
+	}{
+		{1000, 4}, {4096, 8}, {257, 3},
+	} {
+		cfg := testHierSyncConfig(tc.ranks, 42)
+		cfg.Shards = tc.shards
+		cfg.Workers = 1
+		wantDone, wantErrs, wantStats := runHierSyncState(t, cfg)
+		for _, w := range []int{2, 4, 8} {
+			cfg.Workers = w
+			gotDone, gotErrs, gotStats := runHierSyncState(t, cfg)
+			if gotStats != wantStats {
+				t.Fatalf("ranks=%d shards=%d: stats differ at %d workers:\n%+v\n%+v",
+					tc.ranks, tc.shards, w, gotStats, wantStats)
+			}
+			for r := 0; r < tc.ranks; r++ {
+				if gotDone[r] != wantDone[r] || gotErrs[r] != wantErrs[r] {
+					t.Fatalf("ranks=%d shards=%d workers=%d: rank %d = (%v, %v), want (%v, %v)",
+						tc.ranks, tc.shards, w, r, gotDone[r], gotErrs[r], wantDone[r], wantErrs[r])
+				}
+			}
+		}
+	}
+}
+
+// TestHierSyncStatsInvariantInShards checks the message rendezvous is a
+// faithful reformulation of the slot rendezvous: the shard count moves
+// pairs between the two transports, yet every per-rank time and error — and
+// hence every stat except the kernel event count — is unchanged.
+func TestHierSyncStatsInvariantInShards(t *testing.T) {
+	cfg := testHierSyncConfig(1000, 42)
+	wantDone, wantErrs, wantStats := runHierSyncState(t, cfg)
+	for _, shards := range []int{2, 4, 8} {
+		cfg.Shards = shards
+		gotDone, gotErrs, gotStats := runHierSyncState(t, cfg)
+		gotStats.Events = wantStats.Events
+		if gotStats != wantStats {
+			t.Fatalf("shards=%d: stats (sans Events) differ:\n%+v\n%+v",
+				shards, gotStats, wantStats)
+		}
+		for r := 0; r < cfg.Ranks; r++ {
+			if gotDone[r] != wantDone[r] || gotErrs[r] != wantErrs[r] {
+				t.Fatalf("shards=%d: rank %d = (%v, %v), want (%v, %v)",
+					shards, r, gotDone[r], gotErrs[r], wantDone[r], wantErrs[r])
+			}
+		}
+	}
+}
+
+// TestBarrierShardedDeterministic: a sharded parallel run is reproducible
+// and still satisfies the barrier's structural sanity checks.
+func TestBarrierShardedDeterministic(t *testing.T) {
+	cfg := testBarrierConfig(512, 4, 7)
+	cfg.Shards = 4
+	cfg.Workers = 4
+	a, err := RunBarrier(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBarrier(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("two sharded parallel runs of the same config differ:\n%+v\n%+v", a, b)
+	}
+	if a.FinishTime <= 0 || a.Events == 0 || a.MinFinish > a.FinishTime {
+		t.Fatalf("implausible stats: %+v", a)
+	}
+}

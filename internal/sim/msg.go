@@ -1,0 +1,216 @@
+package sim
+
+// Timestamped messages: the cross-partition communication primitive.
+//
+// Post deposits a small fixed-size Msg into the target proc's FIFO inbox at
+// a future virtual time. Unlike Wake — which schedules a resumption and
+// participates in the generation-counter cancellation protocol — a deposit
+// always lands: if the target is parked with no pending timed wake-up when
+// the deposit's time arrives it is woken to drain its inbox; otherwise
+// (running, scheduled, or parked but already due a timed wake-up) the
+// deposit waits silently in the inbox until the target next resumes. A
+// deposit never cancels a scheduled resumption, so a proc's timeline
+// depends only on its own schedule and the wakes its partners direct at it,
+// never on when mail happens to arrive.
+// Because delivery never reads the target's scheduling state at send time,
+// Post is safe to call across partition boundaries under parallel dispatch
+// (RunParallel), where it is the *only* legal cross-partition channel: a
+// cross-partition Post must be at least the configured lookahead in the
+// future, which is what makes conservative windowed dispatch sound (see
+// parallel.go and DESIGN.md §13).
+//
+// Under serial dispatch the deposit queue is interleaved with the event
+// heap: at equal times a deposit is processed before a proc's own scheduled
+// event, so a proc resuming at t always finds every message timestamped
+// <= t already in its inbox. The parallel dispatcher preserves exactly this
+// rule, which is what keeps delivery counts identical at any worker count.
+
+// Msg is a fixed-size message deposited by Post. The kernel never interprets
+// the fields; by convention From is the sender's rank/ID and Kind a protocol
+// tag, with A and B as payload.
+type Msg struct {
+	From int32
+	Kind int32
+	A, B float64
+}
+
+// deposit is one in-flight Post: msg lands in p's inbox at time t. Ordering
+// is (t, seq) like events; seq is assigned from the same counter as events
+// in serial mode, so deposits and events interleave deterministically.
+type deposit struct {
+	t   float64
+	seq int64
+	p   *Proc
+	msg Msg
+}
+
+//synclint:allocfree
+func (a deposit) before(b deposit) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+// depositQueue is a 4-ary min-heap of deposits ordered by (t, seq), the
+// same layout as eventQueue (see events.go for the rationale).
+type depositQueue struct {
+	dp []deposit
+}
+
+//synclint:allocfree
+func (q *depositQueue) len() int { return len(q.dp) }
+
+//synclint:allocfree
+func (q *depositQueue) head() deposit { return q.dp[0] }
+
+//synclint:allocfree
+func (q *depositQueue) push(d deposit) {
+	q.dp = append(q.dp, d) //synclint:alloc -- heap growth: amortized to the high-water in-flight deposit count
+	i := len(q.dp) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q.dp[i].before(q.dp[parent]) {
+			break
+		}
+		q.dp[i], q.dp[parent] = q.dp[parent], q.dp[i]
+		i = parent
+	}
+}
+
+//synclint:allocfree
+func (q *depositQueue) pop() deposit {
+	d := q.dp[0]
+	n := len(q.dp) - 1
+	q.dp[0] = q.dp[n]
+	q.dp[n] = deposit{} // release the *Proc; the slot is reused by push
+	q.dp = q.dp[:n]
+	if n > 1 {
+		q.siftDown(0)
+	}
+	return d
+}
+
+//synclint:allocfree
+func (q *depositQueue) siftDown(i int) {
+	n := len(q.dp)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.dp[c].before(q.dp[min]) {
+				min = c
+			}
+		}
+		if !q.dp[min].before(q.dp[i]) {
+			return
+		}
+		q.dp[i], q.dp[min] = q.dp[min], q.dp[i]
+		i = min
+	}
+}
+
+// msgq is one proc's FIFO inbox: a ring-free queue that resets to the slice
+// head whenever it drains, so steady-state traffic reuses one backing array.
+type msgq struct {
+	buf  []Msg
+	head int
+}
+
+// growInboxes extends the inbox table to cover every proc ID spawned so
+// far. Inboxes are held out-of-band (not on Proc) so procs that never
+// receive a message cost nothing beyond one empty msgq slot, and so
+// KernelBytesPerProc — the scale suite's per-rank footprint claim — is
+// unchanged for workloads that don't use messaging at all: the table is
+// only allocated on first use.
+func (e *Env) growInboxes() {
+	tbl := make([]msgq, e.spawned)
+	copy(tbl, e.inboxes)
+	e.inboxes = tbl
+}
+
+//synclint:allocfree
+func (e *Env) pushInbox(id int, m Msg) {
+	if id >= len(e.inboxes) {
+		e.growInboxes() //synclint:alloc -- inbox table growth: once per spawn generation, not per message
+	}
+	q := &e.inboxes[id]
+	q.buf = append(q.buf, m) //synclint:alloc -- inbox growth: amortized to the high-water queued-message count
+}
+
+// Post deposits msg into q's inbox at virtual time t (clamped to the
+// sender's current time). p is the sending proc — the explicit sender is
+// what lets the parallel dispatcher route the deposit without reading any
+// shared scheduling state. If q is parked with no pending timed wake-up
+// when time t arrives, the deposit wakes it (counting as a delivered event,
+// like a Wake); otherwise the message waits silently in the inbox for q's
+// next resumption. Deposits to finished procs are dropped.
+//
+// Under RunParallel, a Post whose target lives on another worker must
+// satisfy t >= now + Lookahead; the kernel panics otherwise, because such a
+// deposit could violate the conservative window invariant.
+//
+//synclint:allocfree
+func (p *Proc) Post(q *Proc, t float64, msg Msg) {
+	e := p.env
+	if e.par != nil {
+		e.par.post(p, q, t, msg)
+		return
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.deposits.push(deposit{t: t, seq: e.seq, p: q, msg: msg})
+}
+
+// Recv pops the oldest undrained message from the proc's inbox. It returns
+// false when the inbox is empty. Only the proc itself (from its own step
+// function or fiber) may call Recv.
+//
+//synclint:allocfree
+func (p *Proc) Recv() (Msg, bool) {
+	e := p.env
+	if p.id >= len(e.inboxes) {
+		return Msg{}, false
+	}
+	q := &e.inboxes[p.id]
+	if q.head >= len(q.buf) {
+		return Msg{}, false
+	}
+	m := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return m, true
+}
+
+// deliverDeposit lands d: the message is appended to the target's inbox
+// and, if the target is parked with no pending timed wake-up, a wake event
+// is scheduled for it at d.t. The deposit never resumes the target
+// directly: because deposits sort before events at equal times, the wake
+// event fires only after every same-instant deposit has landed, so the
+// target resumes exactly once per burst with its whole mailbox in hand —
+// the property that keeps the delivered-event count identical at any
+// worker count even when several messages carry the same timestamp.
+//
+//synclint:allocfree
+func (e *Env) deliverDeposit(d deposit) {
+	q := d.p
+	if q.done {
+		return
+	}
+	e.pushInbox(q.id, d.msg)
+	if q.suspended && !q.hasEv {
+		e.schedule(d.t, q)
+	}
+}

@@ -1,0 +1,357 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// jit is a tiny deterministic jitter grid: distinct-ish values keyed by
+// (id, k), with an id-proportional epsilon so no two senders ever produce
+// the same absolute time (the workloads' continuous-jitter no-ties
+// assumption, in miniature).
+func jit(id, k int) float64 {
+	h := uint64(id)*2654435761 + uint64(k)*40503 + 12345
+	h ^= h >> 13
+	return float64(h%997+1)*1e-4 + float64(id)*1e-9
+}
+
+// ringWorld is a sharded test workload: N step procs in S contiguous
+// shards. Every proc sends R messages to its cross-shard successor
+// (id + N/S mod N) via Post, paces itself with Until, wakes its same-shard
+// neighbour (intra-partition Wake), and parks when it has sent everything
+// but not yet received everything — so deposits exercise both the silent
+// path and the wake path. Each proc records every resume time and every
+// received message in its own trace slice (owner-worker-only writes).
+type ringWorld struct {
+	env    *Env
+	procs  []*Proc
+	n, s   int
+	rounds int
+	la     float64
+	sent   []int
+	got    []int
+	trace  [][]float64
+}
+
+func newRingWorld(n, s, rounds int, la float64) *ringWorld {
+	w := &ringWorld{
+		env: NewEnv(1), n: n, s: s, rounds: rounds, la: la,
+		sent:  make([]int, n),
+		got:   make([]int, n),
+		trace: make([][]float64, n),
+	}
+	w.procs = w.env.SpawnSteps(n, w.step)
+	return w
+}
+
+func (w *ringWorld) shardOf(id int) int { return id * w.s / w.n }
+
+func (w *ringWorld) step(p *Proc) Control {
+	id := p.ID()
+	now := p.Now()
+	w.trace[id] = append(w.trace[id], now)
+	for {
+		m, ok := p.Recv()
+		if !ok {
+			break
+		}
+		w.trace[id] = append(w.trace[id], float64(m.From), float64(m.Kind), m.A)
+		w.got[id]++
+	}
+	if w.sent[id] < w.rounds {
+		k := w.sent[id]
+		dst := (id + w.n/w.s) % w.n
+		p.Post(w.procs[dst], now+w.la+jit(id, k), Msg{From: int32(id), Kind: int32(k), A: now})
+		w.sent[id]++
+		// Same-shard signalling: wake the neighbour (may cancel its pending
+		// self-resume — the reactive loop tolerates early resumes).
+		nb := id + 1
+		if nb < w.n && w.shardOf(nb) == w.shardOf(id) {
+			w.env.Wake(w.procs[nb], now+1e-7)
+		}
+	}
+	if w.sent[id] >= w.rounds {
+		if w.got[id] >= w.rounds {
+			return Stop()
+		}
+		return Park() // remaining messages will wake us
+	}
+	return Until(now + 2*w.la + jit(id, w.sent[id]+w.rounds))
+}
+
+type ringResult struct {
+	trace     [][]float64
+	now       float64
+	processed uint64
+}
+
+func runRing(t *testing.T, workers int) ringResult {
+	t.Helper()
+	w := newRingWorld(64, 4, 5, 1e-3)
+	err := w.env.RunParallel(ParallelConfig{
+		Workers: workers, Lookahead: w.la, Shards: w.s, ShardOf: w.shardOf,
+	})
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return ringResult{trace: w.trace, now: w.env.Now(), processed: w.env.Processed()}
+}
+
+// TestRunParallelMatchesSerial pins the core contract: for a workload
+// obeying the partition rules, every proc's resume times, message
+// deliveries, the final clock, and the processed-event count are identical
+// at any worker count.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	serial := runRing(t, 1)
+	if serial.processed == 0 || serial.now == 0 {
+		t.Fatalf("degenerate serial run: %+v", serial)
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		got := runRing(t, workers)
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("workers=%d diverged from serial: now %v vs %v, processed %d vs %d",
+				workers, got.now, serial.now, got.processed, serial.processed)
+		}
+	}
+}
+
+// TestPostRecvSerialSemantics checks the deposit rules under plain Run:
+// FIFO order, deposit-before-event at equal times, silent delivery to a
+// scheduled proc, waking a parked proc, and drops to finished procs.
+func TestPostRecvSerialSemantics(t *testing.T) {
+	e := NewEnv(1)
+	var log []Msg
+	var wakes []float64
+	var consumer *Proc
+	consumer = e.SpawnStep(func(p *Proc) Control {
+		wakes = append(wakes, p.Now())
+		for {
+			m, ok := p.Recv()
+			if !ok {
+				break
+			}
+			log = append(log, m)
+		}
+		if p.Now() >= 2 {
+			return Stop()
+		}
+		if p.Now() >= 1 {
+			return Park() // the t=2 deposit must wake us
+		}
+		return Until(1)
+	})
+	e.SpawnStep(func(p *Proc) Control {
+		// Two deposits at t=1 (FIFO among themselves, land before the
+		// consumer's own t=1 event), one at t=2 to wake the parked consumer.
+		p.Post(consumer, 1, Msg{Kind: 10})
+		p.Post(consumer, 1, Msg{Kind: 11})
+		p.Post(consumer, 2, Msg{Kind: 12})
+		return Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []int32{10, 11, 12}
+	if len(log) != 3 || log[0].Kind != 10 || log[1].Kind != 11 || log[2].Kind != 12 {
+		t.Fatalf("delivery order: got %+v want kinds %v", log, wantKinds)
+	}
+	if !reflect.DeepEqual(wakes, []float64{0, 1, 2}) {
+		t.Fatalf("resume times: got %v want [0 1 2]", wakes)
+	}
+
+	// Deposits to a finished proc are dropped, not delivered or leaked.
+	e2 := NewEnv(1)
+	var gone *Proc
+	gone = e2.SpawnStep(func(p *Proc) Control { return Stop() })
+	e2.SpawnStep(func(p *Proc) Control {
+		if p.Now() == 0 {
+			return Until(5)
+		}
+		p.Post(gone, 6, Msg{Kind: 1})
+		return Stop()
+	})
+	if err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Snapshot(); err != nil {
+		t.Fatalf("dropped deposit blocked quiescence: %v", err)
+	}
+}
+
+// TestSnapshotNotQuiescentWithPendingMessages: undrained inboxes and
+// in-flight deposits block a snapshot cut.
+func TestSnapshotNotQuiescentWithPendingMessages(t *testing.T) {
+	e := NewEnv(1)
+	var target *Proc
+	target = e.SpawnStep(func(p *Proc) Control {
+		if p.Now() == 0 {
+			return Until(1) // resume once more; leave the inbox undrained
+		}
+		return Stop()
+	})
+	e.SpawnStep(func(p *Proc) Control {
+		p.Post(target, 0.5, Msg{Kind: 7})
+		return Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Snapshot()
+	var nq *NotQuiescentError
+	if !errors.As(err, &nq) || nq.Pending != 1 {
+		t.Fatalf("want NotQuiescentError with 1 pending message, got %v", err)
+	}
+}
+
+// TestRunParallelFiberFallback: a population with any fiber dispatches
+// serially under RunParallel, byte-identical to Run by construction.
+func TestRunParallelFiberFallback(t *testing.T) {
+	e := NewEnv(1)
+	var times []float64
+	e.Spawn(func(p *Proc) {
+		p.Sleep(1)
+		times = append(times, p.Now())
+	})
+	e.SpawnStep(func(p *Proc) Control {
+		if p.Now() < 2 {
+			return Until(2)
+		}
+		times = append(times, p.Now())
+		return Stop()
+	})
+	if err := e.RunParallel(ParallelConfig{Workers: 4, Lookahead: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(times, []float64{1, 2}) {
+		t.Fatalf("fallback run order: got %v", times)
+	}
+}
+
+// TestRunParallelFailureDeterministic: the reported first failure is
+// identical at any worker count, including when several workers hit
+// failures inside the same window.
+func TestRunParallelFailureDeterministic(t *testing.T) {
+	build := func() *Env {
+		e := NewEnv(1)
+		e.SpawnSteps(16, func(p *Proc) Control {
+			now := p.Now()
+			if now >= 1 {
+				panic("boom") // every proc panics on its second resume...
+			}
+			// ...but proc 11 reaches t=1 strictly first; several others land
+			// within the same lookahead window (d < 0.1), so at 2+ workers
+			// multiple workers observe failures and the barrier must still
+			// pick the serial winner.
+			d := jit(p.ID(), 3)
+			if p.ID() == 11 {
+				d = 0
+			}
+			return Until(1 + d)
+		})
+		return e
+	}
+	var want string
+	for i, workers := range []int{1, 2, 4} {
+		e := build()
+		err := e.RunParallel(ParallelConfig{
+			Workers: workers, Lookahead: 0.1, Shards: 4,
+			ShardOf: func(id int) int { return id * 4 / 16 },
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected failure", workers)
+		}
+		if i == 0 {
+			want = err.Error()
+			if !strings.Contains(want, "panicked: boom") {
+				t.Fatalf("unexpected error: %v", want)
+			}
+			continue
+		}
+		if err.Error() != want {
+			t.Errorf("workers=%d: failure diverged:\n got %q\nwant %q", workers, err.Error(), want)
+		}
+	}
+}
+
+// TestRunParallelCrossPostLookaheadViolation: a cross-partition Post inside
+// the lookahead window is a protocol bug and must be caught, not silently
+// reordered.
+func TestRunParallelCrossPostLookaheadViolation(t *testing.T) {
+	e := NewEnv(1)
+	procs := e.SpawnSteps(8, func(p *Proc) Control { return Park() })
+	e.procs[0].step = func(p *Proc) Control {
+		p.Post(procs[7], p.Now()+0.5, Msg{}) // lookahead is 1.0: too soon
+		return Stop()
+	}
+	err := e.RunParallel(ParallelConfig{
+		Workers: 2, Lookahead: 1.0, Shards: 2,
+		ShardOf: func(id int) int { return id * 2 / 8 },
+	})
+	if err == nil || !strings.Contains(err.Error(), "cross-partition Post inside the lookahead window") {
+		t.Fatalf("want lookahead-violation failure, got %v", err)
+	}
+}
+
+// TestRunParallelBansRandAndSpawn: order-dependent primitives are rejected
+// while workers are dispatching.
+func TestRunParallelBansRandAndSpawn(t *testing.T) {
+	run := func(step StepFunc) error {
+		e := NewEnv(1)
+		e.SpawnSteps(8, step)
+		return e.RunParallel(ParallelConfig{
+			Workers: 2, Lookahead: 1, Shards: 2,
+			ShardOf: func(id int) int { return id * 2 / 8 },
+		})
+	}
+	err := run(func(p *Proc) Control {
+		p.Env().Rand().Float64()
+		return Stop()
+	})
+	if err == nil || !strings.Contains(err.Error(), "Env.Rand is unavailable") {
+		t.Fatalf("want Rand ban, got %v", err)
+	}
+	err = run(func(p *Proc) Control {
+		p.Env().SpawnStep(func(*Proc) Control { return Stop() })
+		return Stop()
+	})
+	if err == nil || !strings.Contains(err.Error(), "spawn during a parallel run") {
+		t.Fatalf("want spawn ban, got %v", err)
+	}
+}
+
+// TestRunParallelLookaheadRequired: a parallel run without a positive
+// lookahead cannot make progress and is rejected up front.
+func TestRunParallelLookaheadRequired(t *testing.T) {
+	e := NewEnv(1)
+	e.SpawnSteps(4, func(p *Proc) Control { return Stop() })
+	err := e.RunParallel(ParallelConfig{Workers: 2, Shards: 2, ShardOf: func(id int) int { return id / 2 }})
+	if err == nil || !strings.Contains(err.Error(), "Lookahead > 0") {
+		t.Fatalf("want lookahead config error, got %v", err)
+	}
+	if math.IsNaN(e.Now()) {
+		t.Fatal("env corrupted")
+	}
+}
+
+// TestRunParallelDeadlockDetected: stuck procs surface as a DeadlockError
+// after a parallel run drains, exactly as under Run.
+func TestRunParallelDeadlockDetected(t *testing.T) {
+	e := NewEnv(1)
+	e.SpawnSteps(8, func(p *Proc) Control {
+		if p.ID() == 5 {
+			return Park() // nobody will wake it
+		}
+		return Stop()
+	})
+	err := e.RunParallel(ParallelConfig{
+		Workers: 2, Lookahead: 1, Shards: 2,
+		ShardOf: func(id int) int { return id * 2 / 8 },
+	})
+	var dl *DeadlockError
+	if !errors.As(err, &dl) || !reflect.DeepEqual(dl.Stuck, []int{5}) {
+		t.Fatalf("want DeadlockError{Stuck:[5]}, got %v", err)
+	}
+}

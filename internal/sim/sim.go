@@ -39,6 +39,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"sync"
 
 	"hclocksync/internal/detrand"
 )
@@ -58,8 +59,23 @@ type Env struct {
 	// processed counts events delivered to a live process — a deterministic
 	// measure of simulation work, reported by the scale suite.
 	processed uint64
-	failure   any // first panic value recovered from a process
-	failed    *Proc
+	// failMu guards the first-failure record. Serial dispatch has a single
+	// baton holder, but the guard makes first-failure-wins explicit and
+	// future-proof; the parallel dispatcher records failures per worker and
+	// merges them deterministically at the window barrier instead (see
+	// parallel.go).
+	failMu  sync.Mutex
+	failure any // first panic value recovered from a process
+	failed  *Proc
+	failT   float64 // virtual time of the recorded failure
+	// deposits holds in-flight Post messages, interleaved with the event
+	// heap by (t, seq); inboxes is the per-proc FIFO message table, indexed
+	// by proc ID and allocated on first use (see msg.go).
+	deposits depositQueue
+	inboxes  []msgq
+	// par is non-nil while RunParallel is dispatching; it routes Wake, Post,
+	// and time queries to the owning worker (see parallel.go).
+	par *parRun
 	// drained receives the baton when the event queue empties (or a process
 	// fails): whichever goroutine runs out of events hands control back to
 	// Run. Capacity 1 so the final handoff never blocks.
@@ -82,8 +98,16 @@ func (e *Env) Now() float64 { return e.now }
 
 // Rand returns the environment's seeded random source. It must only be used
 // from the currently running process (or before Run), which is the natural
-// call pattern in a sequential simulation.
-func (e *Env) Rand() *rand.Rand { return e.rng }
+// call pattern in a sequential simulation. It is unavailable while a
+// parallel run is dispatching: a shared draw-counting stream consumed from
+// concurrent workers would make draw order schedule-dependent, so parallel
+// workloads must use pure counter-keyed randomness (internal/scale's u01).
+func (e *Env) Rand() *rand.Rand {
+	if e.par != nil {
+		panic("sim: Env.Rand is unavailable during parallel dispatch (draw order would depend on the schedule)")
+	}
+	return e.rng
+}
 
 // Procs returns all processes spawned so far.
 func (e *Env) Procs() []*Proc { return e.procs }
@@ -113,6 +137,15 @@ type Proc struct {
 	// suspended reports that the process is parked with no scheduled wake
 	// event; some other process must Wake it.
 	suspended bool
+	// hasEv reports that at least one live (current-generation) event is
+	// scheduled for the process: set on schedule, cleared on every resume
+	// (the gen++ invalidates all pending events at once). Deposit delivery
+	// reads it to decide between scheduling a wake and waiting silently: a
+	// deposit must never cancel a pending timed wake-up, or the target's
+	// timeline would depend on message arrival rather than its own schedule.
+	// It packs into the padding after the bools, keeping the proc footprint
+	// unchanged.
+	hasEv bool
 	// gen counts resumes. Events capture the value at scheduling time; an
 	// event whose generation is stale (the process was resumed by a
 	// different event in the meantime) is discarded instead of delivered.
@@ -132,14 +165,30 @@ func (p *Proc) ID() int { return p.id }
 // Env returns the environment the process belongs to.
 func (p *Proc) Env() *Env { return p.env }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() float64 { return p.env.now }
+// Now returns the current virtual time as seen by this process: the serial
+// kernel clock, or the owning worker's clock during a parallel run.
+//
+//synclint:allocfree
+func (p *Proc) Now() float64 { return p.env.nowOf(p) }
+
+// nowOf resolves the clock that governs p: worker-local under RunParallel
+// (workers advance independently inside a window), the kernel clock
+// otherwise.
+//
+//synclint:allocfree
+func (e *Env) nowOf(p *Proc) float64 {
+	if e.par != nil {
+		return e.par.workers[e.par.wof[p.id]].now
+	}
+	return e.now
+}
 
 // Spawn creates a new fiber process running fn and schedules it to start at
 // the current virtual time. It returns immediately; fn runs during Run.
 // Each fiber costs a goroutine (and its stack); populations beyond a few
 // tens of thousands of procs should use SpawnSteps instead.
 func (e *Env) Spawn(fn func(p *Proc)) *Proc {
+	e.checkSpawn()
 	p := &Proc{
 		id:     e.spawned,
 		env:    e,
@@ -151,10 +200,13 @@ func (e *Env) Spawn(fn func(p *Proc)) *Proc {
 		<-p.resume
 		defer func() {
 			if r := recover(); r != nil {
+				e.failMu.Lock()
 				if e.failure == nil {
 					e.failure = r
 					e.failed = p
+					e.failT = e.now
 				}
+				e.failMu.Unlock()
 			}
 			p.done = true
 			e.dispatch()
@@ -165,6 +217,15 @@ func (e *Env) Spawn(fn func(p *Proc)) *Proc {
 	return p
 }
 
+// checkSpawn rejects spawning while a parallel run is dispatching: the proc
+// table and partition map are shared read-only across workers for the whole
+// run. Populations are fixed before Run in every workload.
+func (e *Env) checkSpawn() {
+	if e.par != nil {
+		panic("sim: spawn during a parallel run (the partition is fixed at RunParallel)")
+	}
+}
+
 // schedule enqueues a wake-up for p at time t (clamped to now).
 //synclint:allocfree
 func (e *Env) schedule(t float64, p *Proc) {
@@ -172,6 +233,7 @@ func (e *Env) schedule(t float64, p *Proc) {
 		t = e.now
 	}
 	e.seq++
+	p.hasEv = true
 	e.events.push(event{t: t, seq: e.seq, p: p, gen: p.gen})
 }
 
@@ -184,13 +246,31 @@ func (e *Env) schedule(t float64, p *Proc) {
 // Run. It is called by the goroutine that currently holds the baton.
 //synclint:allocfree
 func (e *Env) dispatch() {
-	for e.failure == nil && e.events.len() > 0 {
+	for e.failure == nil {
+		// Deposits interleave with events by (t, seq); at equal times a
+		// deposit lands first, so a proc resuming at t always finds every
+		// message timestamped <= t in its inbox. The parallel dispatcher
+		// applies the same rule per worker (parallel.go), which is what
+		// keeps delivery counts worker-count-invariant.
+		if e.deposits.len() > 0 {
+			dt := e.deposits.head().t
+			if e.events.len() == 0 || dt <= e.events.ev[0].t {
+				d := e.deposits.pop()
+				e.now = d.t
+				e.deliverDeposit(d)
+				continue
+			}
+		}
+		if e.events.len() == 0 {
+			break
+		}
 		ev := e.events.pop()
 		if ev.p.done || ev.gen != ev.p.gen {
 			continue
 		}
 		e.now = ev.t
 		ev.p.gen++ // invalidate any other pending wake-ups for this process
+		ev.p.hasEv = false
 		e.processed++
 		if ev.p.step != nil {
 			e.runStep(ev.p)
@@ -226,6 +306,12 @@ func (e *Env) Run() error {
 	if e.failure != nil {
 		return fmt.Errorf("sim: process %d panicked: %v", e.failed.id, e.failure)
 	}
+	return e.finishRun()
+}
+
+// finishRun performs the end-of-run deadlock audit shared by Run and
+// RunParallel.
+func (e *Env) finishRun() error {
 	var stuck []int
 	for _, p := range e.procs {
 		if !p.done {
@@ -289,9 +375,18 @@ func (p *Proc) Suspend() {
 
 // Wake schedules process q to resume at time t (clamped to now). It is the
 // counterpart of Suspend (fibers) and Park (step procs) and must be called
-// from the running process.
+// from the running process. Under RunParallel only q's owning worker may
+// wake it — a cross-partition Wake would race on q's generation counter —
+// so cross-partition signalling must use Post instead; the partition
+// contract makes this statically true for the scale workloads, and the
+// race detector enforces it in CI.
+//
 //synclint:allocfree
 func (e *Env) Wake(q *Proc, t float64) {
+	if e.par != nil {
+		e.par.wake(q, t)
+		return
+	}
 	e.schedule(t, q)
 }
 

@@ -55,8 +55,15 @@ func (e *Env) Snapshot() (EnvState, error) {
 			running = append(running, p.id)
 		}
 	}
-	if e.events.len() > 0 || len(running) > 0 {
-		return EnvState{}, &NotQuiescentError{Pending: e.events.len(), Running: running}
+	// In-flight deposits and undrained inbox messages are live state the
+	// four-number EnvState cannot carry, so they block the cut too.
+	pending := e.events.len() + e.deposits.len()
+	for i := range e.inboxes {
+		q := &e.inboxes[i]
+		pending += len(q.buf) - q.head
+	}
+	if pending > 0 || len(running) > 0 {
+		return EnvState{}, &NotQuiescentError{Pending: pending, Running: running}
 	}
 	return EnvState{
 		Now:      e.now,

@@ -10,17 +10,23 @@
 #       -benchmem -count 10 . > new.txt
 #   scripts/benchdiff.sh old.txt new.txt
 #
-# Exit status: 0 when no benchmark's ns/op regressed by more than the
+# Exit status: 0 when no benchmark metric regressed by more than the
 # threshold (default 10%, override with BENCHDIFF_MAX_REGRESSION_PCT),
 # 1 when at least one did — so CI can gate on `scripts/benchdiff.sh base
-# head`. The gate compares the per-benchmark *minimum* ns/op across the
-# -count repetitions in each file: the minimum is the least noise-polluted
-# estimate of the true cost, which keeps single-outlier iterations from
-# tripping the gate.
+# head`. Every reported unit is gated, not just ns/op: the substrate
+# benches report capacity and throughput as custom metrics (B/rank,
+# kernelB/rank, events/s, plus -benchmem's B/op and allocs/op), and a
+# per-rank memory or dispatch-rate regression is as real as a time one.
+# Units ending in "/s" are rates where higher is better (a regression is a
+# decrease); everything else is a cost where lower is better. The gate
+# compares the per-benchmark best value across the -count repetitions in
+# each file (minimum for costs, maximum for rates): the best sample is the
+# least noise-polluted estimate of the true value, which keeps
+# single-outlier iterations from tripping the gate.
 #
 # With benchstat on PATH (go install golang.org/x/perf/cmd/benchstat@latest)
 # a statistically sound comparison table is printed as well (use
-# -count >= 10 for that); the pass/fail decision is always the min-based
+# -count >= 10 for that); the pass/fail decision is always the best-sample
 # gate, so the exit code does not depend on optional tooling.
 set -euo pipefail
 
@@ -36,7 +42,7 @@ if command -v benchstat >/dev/null 2>&1; then
     benchstat "$old" "$new" || true
     echo
 else
-    echo "benchdiff: benchstat not found, showing min-sample deltas only" >&2
+    echo "benchdiff: benchstat not found, showing best-sample deltas only" >&2
     echo "benchdiff: (go install golang.org/x/perf/cmd/benchstat@latest for real statistics)" >&2
 fi
 
@@ -46,39 +52,42 @@ FNR == 1 { file++ }
 /^Benchmark/ {
     name = keep($1)
     if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
-    # fields: name iters v1 u1 v2 u2 ... — pick ns/op and allocs/op,
-    # keeping the per-file minimum across -count repetitions.
+    # fields: name iters v1 u1 v2 u2 ... — collect every (value, unit)
+    # pair, keeping the per-file best across -count repetitions: the
+    # minimum for cost units, the maximum for rate ("/s") units.
     for (i = 3; i < NF; i += 2) {
-        if ($(i+1) == "ns/op") {
-            if (!((file, name, "ns") in got) || $i + 0 < val[file, name, "ns"]) {
-                val[file, name, "ns"] = $i + 0; got[file, name, "ns"] = 1
-            }
-        }
-        if ($(i+1) == "allocs/op") {
-            if (!((file, name, "al") in got) || $i + 0 < val[file, name, "al"]) {
-                val[file, name, "al"] = $i + 0; got[file, name, "al"] = 1
-            }
+        u = $(i+1); v = $i + 0
+        hib = (u ~ /\/s$/)
+        if (!((name, u) in useen)) { uorder[name, ++ucount[name]] = u; useen[name, u] = 1 }
+        if (!((file, name, u) in got)) {
+            val[file, name, u] = v; got[file, name, u] = 1
+        } else if (hib ? v > val[file, name, u] : v < val[file, name, u]) {
+            val[file, name, u] = v
         }
     }
 }
 END {
-    printf "%-55s %12s %12s %8s %10s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs"
+    printf "%-55s %-12s %14s %14s %8s\n", "benchmark", "unit", "old", "new", "delta"
     bad = 0
     for (i = 1; i <= n; i++) {
         name = order[i]
-        if (!((1, name, "ns") in val) || !((2, name, "ns") in val)) continue
-        o = val[1, name, "ns"]; w = val[2, name, "ns"]
-        pct = (o > 0) ? 100 * (w - o) / o : 0
-        d = (o > 0) ? sprintf("%+.1f%%", pct) : "n/a"
-        oa = ((1, name, "al") in val) ? val[1, name, "al"] : "-"
-        wa = ((2, name, "al") in val) ? val[2, name, "al"] : "-"
-        flag = ""
-        if (o > 0 && pct > threshold) { flag = "  << REGRESSION"; bad++ }
-        printf "%-55s %12.0f %12.0f %8s %10s %10s%s\n", name, o, w, d, oa, wa, flag
+        for (j = 1; j <= ucount[name]; j++) {
+            u = uorder[name, j]
+            if (!((1, name, u) in got) || !((2, name, u) in got)) continue
+            o = val[1, name, u]; w = val[2, name, u]
+            hib = (u ~ /\/s$/)
+            # Regression percentage: for costs, how much the value grew;
+            # for rates, how much it shrank.
+            pct = (o > 0) ? (hib ? 100 * (o - w) / o : 100 * (w - o) / o) : 0
+            d = (o > 0) ? sprintf("%+.1f%%", (w - o) / o * 100) : "n/a"
+            flag = ""
+            if (o > 0 && pct > threshold) { flag = "  << REGRESSION"; bad++ }
+            printf "%-55s %-12s %14.2f %14.2f %8s%s\n", name, u, o, w, d, flag
+        }
     }
     if (bad > 0) {
-        printf "\nbenchdiff: FAIL — %d benchmark(s) regressed more than %s%% (ns/op, min over samples)\n", bad, threshold
+        printf "\nbenchdiff: FAIL — %d metric(s) regressed more than %s%% (best over samples)\n", bad, threshold
         exit 1
     }
-    printf "\nbenchdiff: OK — no benchmark regressed more than %s%%\n", threshold
+    printf "\nbenchdiff: OK — no metric regressed more than %s%%\n", threshold
 }' "$old" "$new"
