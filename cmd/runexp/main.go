@@ -5,10 +5,11 @@
 // Usage:
 //
 //	runexp -suite NAME[,NAME...]|all [-scale default|tiny|smoke] [-jobs N]
-//	       [-workers N] [-cache DIR] [-outdir DIR] [-seed S] [-quiet]
-//	       [-checkpoint FILE] [-checkpoint-every N] [-restore FILE]
+//	       [-workers N] [-fabric N] [-cache DIR] [-outdir DIR] [-seed S]
+//	       [-quiet] [-checkpoint FILE] [-checkpoint-every N] [-restore FILE]
 //	       [-cpuprofile FILE] [-memprofile FILE]
 //	runexp -list
+//	runexp -worker
 //
 // Each suite's simulations are fanned out across -jobs workers; for a fixed
 // seed the results are identical at any -jobs setting. Orthogonally,
@@ -25,15 +26,29 @@
 // With -checkpoint, the run additionally maintains a single-file sweep
 // ledger (internal/checkpoint's sealed binary format, atomic
 // write-then-rename): every finished task's result and, for the
-// sync-accuracy and fig7 suites — which then run phased (at the
-// end-of-sync barrier and between message sizes, respectively) — the
-// latest mid-run cut snapshot of each in-flight simulation. After a SIGKILL, rerunning the
+// sync-accuracy, fig7, and faults suites — which then run phased (at the
+// end-of-sync barrier, between message sizes, and at the end of the FT
+// sync, respectively) — the latest mid-run cut snapshot of each in-flight
+// simulation. After a SIGKILL, rerunning the
 // same command line with -restore FILE serves finished tasks from the
 // ledger and resumes in-flight simulations from their last quiescent cut,
 // producing output byte-identical to an uninterrupted checkpointed run
 // (see DESIGN.md §11). Note phased execution is a different — equally
 // deterministic — schedule than unphased, so checkpointed sync-accuracy
 // outputs are not byte-comparable to non-checkpointed ones.
+//
+// With -fabric N, simulations run in N supervised child *processes*
+// instead of in-process goroutines: runexp re-executes itself with -worker
+// N times and farms each task out over internal/fabric's leased, heartbeat-
+// monitored job protocol. The sweep survives arbitrary worker failure —
+// crashed or hung workers are detected, their jobs retried with
+// deterministic backoff on respawned processes, and phased tasks resume
+// from the dead worker's last checkpoint cut, which migrates to the
+// adopting worker. Output stays byte-identical to the same run with
+// -jobs N (scripts/fabric_chaos.sh proves this under a SIGKILL schedule);
+// the pool's robustness counters land in manifest.json under "fabric".
+// -worker is the internal worker mode: it serves fabric jobs on
+// stdin/stdout and is not meant to be invoked by hand.
 //
 // With -cpuprofile / -memprofile, pprof profiles of the whole run are
 // written on exit (the memory profile after a final GC), so profiling the
@@ -49,6 +64,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -61,6 +77,7 @@ import (
 	"time"
 
 	"hclocksync/internal/experiments"
+	"hclocksync/internal/fabric"
 	"hclocksync/internal/harness"
 )
 
@@ -85,7 +102,7 @@ func seeded(seed int64, base *int64) {
 }
 
 // registry lists the runnable suites. With cut set (checkpointing active)
-// the sync-accuracy and fig7 suites run phased, so a killed sweep resumes
+// the sync-accuracy, fig7, and faults suites run phased, so a killed sweep resumes
 // from each mpirun's last quiescent cut; phased results are deterministic
 // but keyed and hashed separately from unphased ones. workers is the kernel dispatch
 // parallelism (-workers): it reaches the scale suite's sharded step-proc
@@ -196,6 +213,7 @@ func registry(cut bool, workers int) []suiteDef {
 			if tiny {
 				cfg = experiments.TinyFaultsConfig()
 			}
+			cfg.Cut = cut
 			seeded(seed, &cfg.Job.Seed)
 			return experiments.RunFaults(eng, cfg)
 		}},
@@ -229,6 +247,8 @@ func main() {
 	scale := flag.String("scale", "default", "default, tiny, or smoke (tiny everywhere except the scale suite, which keeps fig6 at full rank count)")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "simulations to run concurrently")
 	workers := flag.Int("workers", 1, "kernel dispatch workers per simulation (parallel DES; results are byte-identical at any value)")
+	fabricN := flag.Int("fabric", 0, "run simulations in N supervised child processes (fault-tolerant sweep fabric; results are byte-identical to -jobs N)")
+	workerMode := flag.Bool("worker", false, "internal: serve fabric jobs on stdin/stdout")
 	cache := flag.String("cache", ".expcache", "result-cache directory (empty disables caching)")
 	outdir := flag.String("outdir", "", "write per-suite .txt outputs and manifest.json here")
 	seed := flag.Int64("seed", 0, "override every suite's base seed")
@@ -240,6 +260,17 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (after a final GC) to this file")
 	flag.Parse()
+
+	if *workerMode {
+		if *fabricN > 0 {
+			fmt.Fprintln(os.Stderr, "runexp: -worker and -fabric are mutually exclusive")
+			os.Exit(2)
+		}
+		if err := runWorker(); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -335,10 +366,51 @@ func main() {
 		}
 		opts.Checkpoint = ckpt
 	}
+	var pool *fabric.Pool
+	if *fabricN > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			fail(fmt.Errorf("locating own executable for -fabric workers: %w", err))
+		}
+		pcfg := fabric.Config{
+			Workers:    *fabricN,
+			Command:    []string{exe, "-worker"},
+			Scale:      *scale,
+			Seed:       *seed,
+			Cut:        *ckptPath != "",
+			SimWorkers: *workers,
+			JitterSeed: *seed,
+		}
+		if ckpt != nil {
+			// Mirror worker cut snapshots into the coordinator's own sweep
+			// ledger, and ship -restore'd cuts out to workers.
+			pcfg.Cuts = ckpt.Task
+		}
+		if !*quiet {
+			pcfg.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+		}
+		pool, err = fabric.NewPool(pcfg)
+		if err != nil {
+			fail(err)
+		}
+		defer pool.Close()
+		opts.Remote = pool
+		// One engine slot per fabric worker: each slot just blocks on its
+		// dispatched job, so wider would only queue jobs at the pool.
+		opts.Jobs = *fabricN
+	}
 	eng := harness.New(opts)
 	start := time.Now() //synclint:wallclock -- wall-time telemetry for the manifest; never hashed
 
 	for _, s := range selected {
+		if pool != nil {
+			// The registry entry name disambiguates which suite's
+			// decomposition a worker must replay: several entries share one
+			// harness suite name (fig3–fig6 are all "syncaccuracy").
+			pool.SetEntry(s.name)
+		}
 		res, err := s.run(eng, *scale != "default", *scale == "smoke", *seed)
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", s.name, err))
@@ -361,7 +433,13 @@ func main() {
 		}
 	}
 
+	if pool != nil {
+		pool.Close() // idempotent; workers are down before stats are read
+	}
 	m := harness.NewRunManifest("runexp", eng, start, eng.Manifests())
+	if pool != nil {
+		m.Fabric = pool.Stats()
+	}
 	if *outdir != "" {
 		if err := m.Write(filepath.Join(*outdir, "manifest.json")); err != nil {
 			fail(err)
@@ -371,6 +449,64 @@ func main() {
 	// across runs and job counts.
 	fmt.Fprintf(os.Stderr, "\nrunexp: %d sims in %v, %d served from cache (%.0f%% hit rate)\n",
 		m.Sims, time.Since(start).Round(time.Millisecond), m.CacheHits, 100*m.HitRate()) //synclint:wallclock -- progress message on stderr only
+}
+
+// runWorker is the child-process side of -fabric: it serves fabric jobs
+// on stdin/stdout until the coordinator closes the pipe. Each job re-runs
+// the registry entry named in the request with a single-job engine whose
+// filter skips every task but the requested one — so the task's config and
+// seed are rebuilt from the same first principles as in the coordinator —
+// and whose observer captures that task's canonical-JSON result. The
+// streaming ledger handed in by ServeWorker replays any migrated resume
+// snapshot into the task and relays its cut saves back over the wire.
+func runWorker() error {
+	return fabric.ServeWorker(os.Stdin, os.Stdout, fabric.WorkerOptions{}, func(req fabric.JobRequest, ledger harness.Ledger) (string, json.RawMessage, error) {
+		reg := registry(req.Cut, req.Workers)
+		var def *suiteDef
+		for i := range reg {
+			if reg[i].name == req.Entry {
+				def = &reg[i]
+				break
+			}
+		}
+		if def == nil {
+			return "", nil, fmt.Errorf("unknown registry entry %q", req.Entry)
+		}
+		var (
+			key   string
+			raw   json.RawMessage
+			found bool
+			merr  error
+		)
+		eng := harness.New(harness.Options{
+			Jobs:       1,
+			Checkpoint: ledger,
+			Filter: func(suite, name string) bool {
+				return suite == req.Suite && name == req.Task
+			},
+			Observer: func(suite, name, k string, seed int64, result any) {
+				if suite != req.Suite || name != req.Task || found {
+					return
+				}
+				b, err := json.Marshal(result)
+				if err != nil {
+					merr = fmt.Errorf("marshaling %s/%s result: %w", suite, name, err)
+					return
+				}
+				key, raw, found = k, b, true
+			},
+		})
+		if _, err := def.run(eng, req.Scale != "default", req.Scale == "smoke", req.Seed); err != nil {
+			return "", nil, err
+		}
+		if merr != nil {
+			return "", nil, merr
+		}
+		if !found {
+			return "", nil, fmt.Errorf("task %s/%s not in entry %q's decomposition", req.Suite, req.Task, req.Entry)
+		}
+		return key, raw, nil
+	})
 }
 
 func fail(err error) {

@@ -37,6 +37,13 @@ type FaultsConfig struct {
 	// ground truth is simulator-only — so the measurement itself cannot
 	// deadlock at any drop rate.
 	Horizon float64
+	// Cut runs each cell as two session phases split at the end of the
+	// fault-tolerant sync, so a killed sweep resumes from the cut instead
+	// of re-synchronizing (see faultsRunPhased). Phased execution is a
+	// different — equally deterministic — schedule: readings assemble in
+	// rank order rather than completion order, so faultscut pins its own
+	// golden hash.
+	Cut bool
 }
 
 // FaultsRun is one (drop rate, crash count, replication) outcome.
@@ -76,6 +83,9 @@ type faultsTask struct {
 	Schedule faults.PlanConfig
 	Horizon  float64
 	Run      int
+	// Cut is omitted when false so enabling phased execution leaves the
+	// unphased cache keys untouched.
+	Cut bool `json:",omitempty"`
 }
 
 // RunFaults executes the sweep through the engine, one task per
@@ -101,18 +111,26 @@ func RunFaults(eng *harness.Engine, cfg FaultsConfig) (*FaultsResult, error) {
 		for _, crashes := range cfg.CrashCounts {
 			for run := 0; run < cfg.NRuns; run++ {
 				drop, crashes, run := drop, crashes, run
-				tasks = append(tasks, harness.Task[FaultsRun]{
+				t := harness.Task[FaultsRun]{
 					Name:    fmt.Sprintf("drop%g/crash%d/run%d", drop, crashes, run),
 					SeedKey: seedKeyRun(run),
 					Config: faultsTask{
 						Job: cfg.Job, Drop: drop, Crashes: crashes,
 						NFit: cfg.NFitpoints, FT: cfg.FT,
 						Schedule: cfg.Schedule, Horizon: cfg.Horizon, Run: run,
+						Cut: cfg.Cut,
 					},
-					Run: func(seed int64) (FaultsRun, error) {
+				}
+				if cfg.Cut {
+					t.RunPhased = func(seed int64, ckpt harness.TaskCheckpoint) (FaultsRun, error) {
+						return faultsRunPhased(cfg, drop, crashes, run, seed, ckpt)
+					}
+				} else {
+					t.Run = func(seed int64) (FaultsRun, error) {
 						return faultsRun(cfg, drop, crashes, run, seed)
-					},
-				})
+					}
+				}
+				tasks = append(tasks, t)
 			}
 		}
 	}
@@ -170,9 +188,19 @@ func faultsRun(cfg FaultsConfig, drop float64, crashes, run int, seed int64) (Fa
 	if err != nil {
 		return FaultsRun{}, fmt.Errorf("drop %g crashes %d run %d: %w", drop, crashes, run, err)
 	}
+	if err := faultsFinish(cfg, &row, readings, lastEnd); err != nil {
+		return FaultsRun{}, err
+	}
+	return row, nil
+}
+
+// faultsFinish assembles the survivor statistics shared by the unphased
+// and phased pipelines: horizon sanity, survivor/degraded counts, loss
+// fraction, and the ground-truth spread of the readings.
+func faultsFinish(cfg FaultsConfig, row *FaultsRun, readings []float64, lastEnd float64) error {
 	if lastEnd > cfg.Horizon {
-		return FaultsRun{}, fmt.Errorf("drop %g crashes %d run %d: sync ended at %.3f s, past the %.3f s horizon",
-			drop, crashes, run, lastEnd, cfg.Horizon)
+		return fmt.Errorf("drop %g crashes %d run %d: sync ended at %.3f s, past the %.3f s horizon",
+			row.DropProb, row.Crashes, row.Run, lastEnd, cfg.Horizon)
 	}
 	row.Survivors = len(readings)
 	row.Duration = lastEnd
@@ -194,7 +222,7 @@ func faultsRun(cfg FaultsConfig, drop float64, crashes, run int, seed int64) (Fa
 			row.MaxAbsErr = math.Max(row.MaxAbsErr, math.Abs(v-mean))
 		}
 	}
-	return row, nil
+	return nil
 }
 
 // Print emits one row per run plus per-cell means — the sync-error

@@ -1,0 +1,180 @@
+package experiments
+
+// Phased execution of the faults suite: the same fault-injected mpirun as
+// faultsRun, split into two session phases at the end of the
+// fault-tolerant sync. Phase A runs SyncFT under the derived fault plan
+// and captures every survivor's synchronized-clock model; phase B samples
+// the simulator-only ground truth at the horizon. Between the phases the
+// whole job — kernel, clocks, injector state, plus the per-rank reports
+// and models carried as the application payload — snapshots, so a killed
+// faults sweep resumes from the cut instead of re-synchronizing.
+//
+// Phase B does no communication and collects readings in rank order
+// (faultsRun collects them in completion order), so the phased suite pins
+// its own golden hash ("faultscut") rather than reusing "faults".
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"hclocksync/internal/checkpoint"
+	"hclocksync/internal/clock"
+	"hclocksync/internal/clocksync"
+	"hclocksync/internal/faults"
+	"hclocksync/internal/harness"
+	"hclocksync/internal/mpi"
+)
+
+// faultsCut is the cross-phase payload. JSON keeps it self-describing and
+// still round-trips every float64 bit-exactly (Go prints shortest
+// round-trip floats), which is all the byte-identity contract needs.
+type faultsCut struct {
+	Reps    []clocksync.RankSync  `json:"reps"`
+	States  []clocksync.SyncState `json:"states"`
+	Done    []bool                `json:"done"`
+	LastEnd float64               `json:"last_end"`
+}
+
+// faultsRunPhased is the phased counterpart of faultsRun. With a nil
+// checkpoint handle it runs both phases back to back (the uninterrupted
+// baseline the golden test pins); with a handle it saves a snapshot at the
+// cut and resumes from one when the handle offers it.
+func faultsRunPhased(cfg FaultsConfig, drop float64, crashes, run int, seed int64,
+	ckpt harness.TaskCheckpoint) (FaultsRun, error) {
+	job := cfg.Job
+	job.Seed = seed
+	sched := cfg.Schedule
+	sched.DropProb = drop
+	sched.NCrashes = crashes
+	plan := sched.Derive(job.NProcs, seed)
+	alg := clocksync.HCA3FT{NFitpoints: cfg.NFitpoints, Opts: cfg.FT}
+	mcfg := mpi.Config{
+		Spec:        job.Spec,
+		NProcs:      job.NProcs,
+		Mapping:     job.Mapping,
+		Seed:        job.Seed,
+		ClockSource: job.ClockSource,
+		Barrier:     job.Barrier,
+		Allreduce:   job.Allreduce,
+		Faults:      faults.NewInjector(plan),
+	}
+	fail := func(err error) (FaultsRun, error) {
+		return FaultsRun{}, fmt.Errorf("drop %g crashes %d run %d: %w", drop, crashes, run, err)
+	}
+
+	row := FaultsRun{
+		DropProb: drop, Crashes: crashes, Run: run,
+		PerRank: make([]clocksync.RankSync, job.NProcs),
+	}
+	var s *mpi.Session
+	var states []clocksync.SyncState
+	var done []bool
+	var lastEnd float64
+	cut := 0
+	if ckpt != nil {
+		if c, snap, ok := ckpt.Latest(); ok {
+			decoded, err := checkpoint.DecodeSession(snap)
+			if err != nil {
+				return fail(fmt.Errorf("decoding cut snapshot: %w", err))
+			}
+			resumed, err := mpi.ResumeSession(mcfg, decoded.State)
+			if err != nil {
+				return fail(fmt.Errorf("resuming from cut %d: %w", c, err))
+			}
+			if len(decoded.App) != 1 {
+				return fail(fmt.Errorf("cut %d payload has %d blobs, want 1", c, len(decoded.App)))
+			}
+			var fc faultsCut
+			if err := json.Unmarshal(decoded.App[0], &fc); err != nil {
+				return fail(fmt.Errorf("decoding cut %d payload: %w", c, err))
+			}
+			if len(fc.Reps) != job.NProcs || len(fc.States) != job.NProcs || len(fc.Done) != job.NProcs {
+				return fail(fmt.Errorf("cut %d payload shaped for %d/%d/%d ranks, want %d",
+					c, len(fc.Reps), len(fc.States), len(fc.Done), job.NProcs))
+			}
+			copy(row.PerRank, fc.Reps)
+			states, done, lastEnd = fc.States, fc.Done, fc.LastEnd
+			s, cut = resumed, c
+		}
+	}
+	if s == nil {
+		fresh, err := mpi.NewSession(mcfg)
+		if err != nil {
+			return fail(err)
+		}
+		s = fresh
+	}
+
+	if cut < 1 {
+		states = make([]clocksync.SyncState, job.NProcs)
+		done = make([]bool, job.NProcs)
+		var mu sync.Mutex
+		err := s.RunPhase(func(p *mpi.Proc) {
+			g, rep := alg.SyncFT(p.World(), clock.NewLocal(p))
+			end := p.TrueNow()
+			mu.Lock()
+			defer mu.Unlock()
+			r := p.Rank()
+			row.PerRank[r] = rep
+			states[r] = clocksync.CaptureClock(g)
+			done[r] = true
+			if rep.Alive && end > lastEnd {
+				lastEnd = end
+			}
+		})
+		if err != nil {
+			return fail(err)
+		}
+		cut = 1
+		if ckpt != nil {
+			st, err := s.Snapshot()
+			if err != nil {
+				return fail(fmt.Errorf("snapshot at cut %d: %w", cut, err))
+			}
+			payload, err := json.Marshal(faultsCut{
+				Reps: row.PerRank, States: states, Done: done, LastEnd: lastEnd,
+			})
+			if err != nil {
+				return fail(fmt.Errorf("encoding cut %d payload: %w", cut, err))
+			}
+			ckpt.Save(cut, checkpoint.EncodeSession(&checkpoint.Session{
+				Cut: cut, State: st, App: [][]byte{payload},
+			}))
+		}
+	}
+
+	// Phase B: evaluate every survivor's global clock at the horizon. The
+	// kernel only spawns ranks whose scheduled crash has not yet struck;
+	// the done/Alive guard additionally skips doomed stragglers whose
+	// crash time falls after the phase-A end.
+	var mu sync.Mutex
+	readings := make([]float64, job.NProcs)
+	has := make([]bool, job.NProcs)
+	err := s.RunPhase(func(p *mpi.Proc) {
+		r := p.Rank()
+		if !done[r] || !row.PerRank[r].Alive {
+			return
+		}
+		g := states[r].Rebuild(clock.NewLocal(p))
+		_, m := clock.Collapse(g)
+		l := p.HWClock().ReadAt(cfg.Horizon)
+		mu.Lock()
+		readings[r] = l - m.Predict(l)
+		has[r] = true
+		mu.Unlock()
+	})
+	if err != nil {
+		return fail(err)
+	}
+	var alive []float64
+	for r, ok := range has {
+		if ok {
+			alive = append(alive, readings[r])
+		}
+	}
+	if err := faultsFinish(cfg, &row, alive, lastEnd); err != nil {
+		return FaultsRun{}, err
+	}
+	return row, nil
+}

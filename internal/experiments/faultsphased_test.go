@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hclocksync/internal/harness"
+)
+
+// The checkpoint acceptance property for the faults suite: an
+// uninterrupted phased run, a checkpointing run, and a run resumed in a
+// "fresh process" from the saved cut all produce the same FaultsRun, bit
+// for bit — including under message drops and rank crashes, where the
+// injector state rides the snapshot.
+func TestFaultsPhasedResumeMatchesUninterrupted(t *testing.T) {
+	cfg := TinyFaultsConfig()
+	for _, cell := range []struct {
+		drop    float64
+		crashes int
+	}{{0, 0}, {0.05, 1}} {
+		cell := cell
+		t.Run(fmt.Sprintf("drop%g_crash%d", cell.drop, cell.crashes), func(t *testing.T) {
+			seed := harness.DeriveSeed("faults", fmt.Sprintf("drop%g/crash%d/run0", cell.drop, cell.crashes), cfg.Job.Seed)
+
+			plain, err := faultsRunPhased(cfg, cell.drop, cell.crashes, 0, seed, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cell.crashes > 0 && plain.Survivors >= cfg.Job.NProcs {
+				t.Fatalf("crash cell lost no ranks (%d/%d survivors) — fault path not exercised", plain.Survivors, cfg.Job.NProcs)
+			}
+
+			saver := &memCkpt{}
+			saved, err := faultsRunPhased(cfg, cell.drop, cell.crashes, 0, seed, saver)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if saver.cut != 1 || len(saver.snap) == 0 {
+				t.Fatalf("no snapshot saved at the cut (cut=%d, %d bytes)", saver.cut, len(saver.snap))
+			}
+			if !reflect.DeepEqual(saved, plain) {
+				t.Fatalf("checkpointing changed the result:\n got %+v\nwant %+v", saved, plain)
+			}
+
+			// "Kill" after phase A: a fresh invocation sees only the saved
+			// snapshot and must replay phase B to the identical result.
+			resumed, err := faultsRunPhased(cfg, cell.drop, cell.crashes, 0, seed, saver)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(resumed, plain) {
+				t.Fatalf("resumed run diverged:\n got %+v\nwant %+v", resumed, plain)
+			}
+		})
+	}
+}
+
+// Cut mode must not collide with unphased faults results in the cache:
+// the two configurations key differently (and false keeps the legacy key).
+func TestFaultsTaskCutChangesCacheKey(t *testing.T) {
+	cfg := TinyFaultsConfig()
+	base := faultsTask{Job: cfg.Job, Drop: 0.05, Crashes: 1, NFit: cfg.NFitpoints,
+		FT: cfg.FT, Schedule: cfg.Schedule, Horizon: cfg.Horizon, Run: 0}
+	cut := base
+	cut.Cut = true
+	k1, err := harness.CacheKey("v", "faults", "t", 1, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := harness.CacheKey("v", "faults", "t", 1, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("Cut flag does not separate cache keys")
+	}
+}

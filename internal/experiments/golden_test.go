@@ -99,6 +99,22 @@ func goldenSuites() []goldenSuite {
 			res.Print(&b)
 			return b.String(), nil
 		}},
+		{"faultscut", func(eng *harness.Engine) (string, error) {
+			// The phased (checkpointable) faults pipeline. As with fig3cut,
+			// its schedule differs from the unphased suite — phase B collects
+			// readings in rank order instead of completion order — so it pins
+			// its own hash while the plain faults hash proves cut-mode support
+			// left the unphased path untouched.
+			cfg := TinyFaultsConfig()
+			cfg.Cut = true
+			res, err := RunFaults(eng, cfg)
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			res.Print(&b)
+			return b.String(), nil
+		}},
 		{"clockfaults", func(eng *harness.Engine) (string, error) {
 			res, err := RunClockFaults(eng, TinyClockFaultsConfig())
 			if err != nil {

@@ -1,0 +1,59 @@
+package fabric
+
+import "time"
+
+// Retry backoff: exponential in the attempt number, capped, with
+// deterministic jitter. Jitter matters so that several jobs orphaned by
+// the same dead worker do not stampede back onto the survivors in
+// lockstep; determinism matters because this repository's whole contract
+// is reproducibility — two runs of the same sweep with the same seed must
+// make the same scheduling decisions, chaos included, so a flake is
+// replayable. The jitter factor is therefore derived from (jitter seed,
+// task identity, attempt) through splitmix64 rather than from a global
+// RNG or the clock.
+
+// backoffDelay returns the pause before redispatching task's attempt-th
+// retry (attempt >= 1): base·2^(attempt-1), capped at max, scaled by a
+// deterministic jitter factor in [1, 2).
+func backoffDelay(base, max time.Duration, jitterSeed int64, task string, attempt int) time.Duration {
+	if base <= 0 {
+		base = defaultBackoffBase
+	}
+	if max <= 0 {
+		max = defaultBackoffMax
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	x := splitmix64(uint64(jitterSeed) ^ fnv64(task) ^ uint64(attempt)*0x9e3779b97f4a7c15)
+	frac := float64(x>>11) / (1 << 53) // uniform in [0, 1)
+	return time.Duration(float64(d) * (1 + frac))
+}
+
+const (
+	defaultBackoffBase = 50 * time.Millisecond
+	defaultBackoffMax  = 2 * time.Second
+)
+
+// splitmix64 is the standard 64-bit finalizing mixer; one application
+// turns a structured input into uniformly scattered bits.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fnv64 is FNV-1a over s, inlined to keep the hash explicit and stable.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

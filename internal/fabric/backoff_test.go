@@ -1,0 +1,58 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministic(t *testing.T) {
+	for attempt := 1; attempt <= 6; attempt++ {
+		a := backoffDelay(10*time.Millisecond, time.Second, 42, "faults/run3", attempt)
+		b := backoffDelay(10*time.Millisecond, time.Second, 42, "faults/run3", attempt)
+		if a != b {
+			t.Errorf("attempt %d: %v != %v; backoff must be a pure function of its inputs", attempt, a, b)
+		}
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	base, max := 10*time.Millisecond, 80*time.Millisecond
+	for attempt := 1; attempt <= 10; attempt++ {
+		d := backoffDelay(base, max, 7, "s/t", attempt)
+		lo := base
+		for i := 1; i < attempt && lo < max; i++ {
+			lo *= 2
+		}
+		if lo > max {
+			lo = max
+		}
+		if d < lo || d >= 2*lo {
+			t.Errorf("attempt %d: delay %v outside jittered band [%v, %v)", attempt, d, lo, 2*lo)
+		}
+	}
+	// Far past the cap the exponential must not overflow into nonsense.
+	if d := backoffDelay(base, max, 7, "s/t", 1000); d < max || d >= 2*max {
+		t.Errorf("attempt 1000: delay %v outside capped band [%v, %v)", d, max, 2*max)
+	}
+}
+
+func TestBackoffJitterSpreadsTasks(t *testing.T) {
+	// Jobs orphaned by the same dead worker retry at the same attempt
+	// number; distinct task identities must keep their delays from
+	// stampeding in lockstep.
+	seen := map[time.Duration]bool{}
+	tasks := []string{"s/a", "s/b", "s/c", "s/d"}
+	for _, task := range tasks {
+		seen[backoffDelay(10*time.Millisecond, time.Second, 42, task, 1)] = true
+	}
+	if len(seen) < len(tasks) {
+		t.Errorf("only %d distinct delays across %d tasks", len(seen), len(tasks))
+	}
+}
+
+func TestBackoffZeroConfigUsesDefaults(t *testing.T) {
+	d := backoffDelay(0, 0, 0, "s/t", 1)
+	if d < defaultBackoffBase || d >= 2*defaultBackoffBase {
+		t.Errorf("first-attempt delay %v outside default band [%v, %v)", d, defaultBackoffBase, 2*defaultBackoffBase)
+	}
+}

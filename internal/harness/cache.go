@@ -63,26 +63,44 @@ func (c *Cache) path(key string) string {
 // Get loads the entry under key into out. It reports false — never an error
 // — on any miss: absent file, malformed JSON, key or checksum mismatch, or
 // a payload that no longer unmarshals into out's type.
+//
+// A corrupted entry (undecodable envelope, wrong key, or a checksum that no
+// longer matches the payload) is quarantined: renamed aside with a .corrupt
+// suffix so the next Put can re-fill the slot and the damaged bytes stay
+// available for a post-mortem instead of being retried — or worse, trusted
+// — on every subsequent run. A payload that merely fails to unmarshal into
+// out's type is left in place: the entry is intact, the caller's type moved.
 func (c *Cache) Get(key string, out any) bool {
 	if c == nil {
 		return false
 	}
-	raw, err := os.ReadFile(c.path(key))
+	path := c.path(key)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return false
 	}
 	var e entry
 	if err := json.Unmarshal(raw, &e); err != nil {
+		c.quarantine(path)
 		return false
 	}
 	if e.Key != key {
+		c.quarantine(path)
 		return false
 	}
 	sum := sha256.Sum256(e.Result)
 	if hex.EncodeToString(sum[:]) != e.Checksum {
+		c.quarantine(path)
 		return false
 	}
 	return json.Unmarshal(e.Result, out) == nil
+}
+
+// quarantine moves a corrupted entry aside so it reads as a miss from now
+// on. Best-effort like the rest of the cache: a failed rename (e.g. a
+// read-only cache directory) just leaves the entry to be detected again.
+func (c *Cache) quarantine(path string) {
+	_ = os.Rename(path, path+".corrupt")
 }
 
 // Put stores result under key. Failures (unserializable result, full disk)

@@ -177,6 +177,61 @@ func TestCorruptedEntriesRecomputed(t *testing.T) {
 	}
 }
 
+// A corrupted entry must be quarantined — renamed aside, not deleted and
+// not retried: the damaged bytes stay on disk for a post-mortem while the
+// slot reads as a miss and the recomputed result re-fills it.
+func TestCorruptedEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	var ran atomic.Int64
+	if _, err := Run(cachedEngine(t, dir), "suite", 5, countingTasks(1, &ran)); err != nil {
+		t.Fatal(err)
+	}
+	files := cacheFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("have %d cache entries, want 1", len(files))
+	}
+	entryPath := files[0]
+
+	// Flip a payload byte without touching the checksum.
+	corruptAll(t, dir, func(_ string, raw []byte) []byte {
+		var e entry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			t.Fatal(err)
+		}
+		e.Result = json.RawMessage(`{"value": -1}`)
+		out, _ := json.Marshal(e)
+		return out
+	})
+
+	c := OpenCache(dir)
+	key := strings.TrimSuffix(filepath.Base(entryPath), ".json")
+	var res simResult
+	if c.Get(key, &res) {
+		t.Fatal("Get served a checksum-mismatched entry")
+	}
+	if _, err := os.Stat(entryPath); !os.IsNotExist(err) {
+		t.Errorf("corrupted entry still at %s (err=%v); want it renamed aside", entryPath, err)
+	}
+	if _, err := os.Stat(entryPath + ".corrupt"); err != nil {
+		t.Errorf("no quarantined copy at %s.corrupt: %v", entryPath, err)
+	}
+
+	// The sweep must carry on: the slot recomputes and serves again.
+	if _, err := Run(cachedEngine(t, dir), "suite", 5, countingTasks(1, &ran)); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 2 {
+		t.Fatalf("executed %d tasks, want 2 (original + recompute)", ran.Load())
+	}
+	ran.Store(0)
+	if _, err := Run(cachedEngine(t, dir), "suite", 5, countingTasks(1, &ran)); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d tasks re-ran after the slot was re-filled", ran.Load())
+	}
+}
+
 func TestVersionChangeInvalidates(t *testing.T) {
 	dir := t.TempDir()
 	var ran atomic.Int64

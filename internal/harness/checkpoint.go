@@ -22,6 +22,24 @@ import (
 	"hclocksync/internal/checkpoint"
 )
 
+// Ledger is the engine's sweep-checkpoint surface: finished results keyed
+// by cache key plus per-task cut snapshots for phased tasks. *Checkpointer
+// is the file-backed implementation behind runexp -checkpoint; the sweep
+// fabric's worker substitutes a streaming ledger that relays cuts and
+// resume snapshots to its coordinator over the worker protocol.
+// Implementations must be safe for concurrent use by the worker pool.
+type Ledger interface {
+	// Lookup loads the finished result recorded under key into out,
+	// reporting whether one was found.
+	Lookup(key string, out any) bool
+	// Record stores a finished task's result under its cache key and
+	// clears any in-flight snapshot for the task.
+	Record(suite, name, key string, result any)
+	// Task returns the per-task checkpoint handle for (suite, name), or
+	// nil when the ledger does not checkpoint this task mid-run.
+	Task(suite, name string) TaskCheckpoint
+}
+
 // TaskCheckpoint is the per-task checkpoint surface handed to a phased
 // task's RunPhased function. Implementations are safe for use from the
 // single worker goroutine running the task.

@@ -27,10 +27,27 @@
 package harness
 
 import (
+	"encoding/json"
 	"runtime"
 	"runtime/debug"
 	"sync"
 )
+
+// Remote executes one task out of process. The sweep fabric's worker pool
+// implements it: the engine hands over every task it would otherwise
+// compute locally (cache and ledger hits are still served in-process) and
+// receives the canonical-JSON result the remote worker produced. All
+// retry, failure-detection, and job-migration policy lives behind this
+// interface; an error returned from RunTask is terminal for the task.
+type Remote interface {
+	// RunTask executes the named task of the suite. key is the
+	// coordinator's cache key for the task — the remote side recomputes it
+	// and a mismatch means the two processes disagree about the task's
+	// identity (version or config skew). phased reports whether the task
+	// checkpoints at cut boundaries, i.e. whether migration snapshots may
+	// flow back mid-run.
+	RunTask(suite, name, key string, seed int64, phased bool) (json.RawMessage, error)
+}
 
 // Options configures an Engine.
 type Options struct {
@@ -48,7 +65,23 @@ type Options struct {
 	// Checkpoint enables the sweep ledger: finished results and in-flight
 	// cut snapshots are persisted so a killed run can resume. Nil disables
 	// checkpointing (phased tasks then run uninterrupted, without cuts).
-	Checkpoint *Checkpointer
+	// *Checkpointer is the file-backed implementation; the fabric worker
+	// substitutes a streaming ledger that relays cuts to its coordinator.
+	Checkpoint Ledger
+	// Filter, when non-nil, restricts execution to the tasks it approves: a
+	// task for which it returns false is skipped outright — no cache
+	// lookup, no run, a zero-value result, and a skipped manifest record.
+	// The fabric worker uses it to execute exactly one task of a decomposed
+	// suite; the surrounding suite code never notices.
+	Filter func(suite, name string) bool
+	// Observer, when non-nil, receives every locally computed result right
+	// after it succeeds (cache and ledger hits are not reported). The
+	// fabric worker uses it to capture the one task it was asked to run.
+	Observer func(suite, name, key string, seed int64, result any)
+	// Remote, when non-nil, executes tasks out of process instead of
+	// calling their Run functions locally. Cache and ledger hits are still
+	// served in-process.
+	Remote Remote
 }
 
 // Engine executes suites of independent simulation tasks on a worker pool.
@@ -59,7 +92,10 @@ type Engine struct {
 	cache    *Cache
 	version  string
 	reporter Reporter
-	ckpt     *Checkpointer
+	ckpt     Ledger
+	filter   func(suite, name string) bool
+	observer func(suite, name, key string, seed int64, result any)
+	remote   Remote
 
 	mu        sync.Mutex
 	manifests []*Manifest
@@ -72,6 +108,9 @@ func New(opts Options) *Engine {
 		version:  opts.Version,
 		reporter: opts.Reporter,
 		ckpt:     opts.Checkpoint,
+		filter:   opts.Filter,
+		observer: opts.Observer,
+		remote:   opts.Remote,
 	}
 	if e.jobs <= 0 {
 		e.jobs = runtime.NumCPU()

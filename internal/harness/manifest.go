@@ -16,9 +16,14 @@ type TaskRecord struct {
 	CacheHit bool            `json:"cache_hit"`
 	// CheckpointHit marks a result served from a sweep ledger — a task a
 	// previous, killed invocation had already finished.
-	CheckpointHit bool    `json:"checkpoint_hit,omitempty"`
-	WallSec       float64 `json:"wall_s"`
-	Error         string  `json:"error,omitempty"`
+	CheckpointHit bool `json:"checkpoint_hit,omitempty"`
+	// Remote marks a task executed out of process by the sweep fabric.
+	Remote bool `json:"remote,omitempty"`
+	// Skipped marks a task the engine's filter excluded (the fabric worker
+	// runs exactly one task of a decomposed suite).
+	Skipped bool    `json:"skipped,omitempty"`
+	WallSec float64 `json:"wall_s"`
+	Error   string  `json:"error,omitempty"`
 }
 
 // Manifest records one suite run: the configuration of every task, the
@@ -37,8 +42,10 @@ type Manifest struct {
 	CacheHits   int       `json:"cache_hits"`
 	CacheMisses int       `json:"cache_misses"`
 	// CheckpointHits counts tasks served from a sweep ledger on resume.
-	CheckpointHits int          `json:"checkpoint_hits,omitempty"`
-	Tasks          []TaskRecord `json:"tasks"`
+	CheckpointHits int `json:"checkpoint_hits,omitempty"`
+	// RemoteRuns counts tasks executed out of process by the sweep fabric.
+	RemoteRuns int          `json:"remote_runs,omitempty"`
+	Tasks      []TaskRecord `json:"tasks"`
 }
 
 // HitRate returns the fraction of tasks served from cache, 0 when empty.
@@ -56,11 +63,15 @@ type RunManifest struct {
 	Version   string      `json:"version"`
 	Jobs      int         `json:"jobs"`
 	CacheDir  string      `json:"cache_dir,omitempty"`
-	Started   time.Time   `json:"started"`
-	WallSec   float64     `json:"wall_s"`
-	Sims      int         `json:"sims"`
-	CacheHits int         `json:"cache_hits"`
-	Suites    []*Manifest `json:"suites"`
+	Started   time.Time `json:"started"`
+	WallSec   float64   `json:"wall_s"`
+	Sims      int       `json:"sims"`
+	CacheHits int       `json:"cache_hits"`
+	// Fabric carries the sweep-fabric pool's robustness accounting
+	// (spawns, retries, lease takeovers, ledger migrations) when the run
+	// executed under runexp -fabric; absent otherwise.
+	Fabric any         `json:"fabric,omitempty"`
+	Suites []*Manifest `json:"suites"`
 }
 
 // NewRunManifest assembles a tool-level manifest from suite manifests.

@@ -66,6 +66,14 @@ func Run[R any](e *Engine, suite string, baseSeed int64, tasks []Task[R]) ([]R, 
 		}
 		seed := DeriveSeed(suite, seedKey, baseSeed)
 		rec := TaskRecord{Name: name, SeedKey: seedKey, Seed: seed}
+		if e.filter != nil && !e.filter(suite, name) {
+			// Not ours to run (the fabric worker executes exactly one task
+			// of the decomposed suite): zero result, no cache traffic.
+			rec.Skipped = true
+			recs[i] = rec
+			e.reporter.Done(suite, rec, int(done.Add(1)), n, time.Since(started)) //synclint:wallclock -- progress reporting only
+			return
+		}
 		if cfg, err := json.Marshal(t.Config); err == nil {
 			rec.Config = cfg
 		}
@@ -81,17 +89,35 @@ func Run[R any](e *Engine, suite string, baseSeed int64, tasks []Task[R]) ([]R, 
 			switch {
 			case e.cache.Get(key, &results[i]):
 				rec.CacheHit = true
-			case e.ckpt.Lookup(key, &results[i]):
+			case e.ledgerLookup(key, &results[i]):
 				// A finished result from a previous (killed) run of this
 				// sweep; the ledger key embeds version+config+seed exactly
 				// like the cache, so serving it is as safe as a cache hit.
 				rec.CheckpointHit = true
 				e.cache.Put(key, e.version, suite, name, seed, t.Config, results[i])
+			case e.remote != nil:
+				// Fabric execution: the pool owns retries, failure
+				// detection, and cut migration; what comes back is the
+				// worker's canonical-JSON result — the same representation
+				// a cache hit would be served from.
+				raw, rerr := e.remote.RunTask(suite, name, key, seed, t.RunPhased != nil)
+				if rerr == nil {
+					rerr = json.Unmarshal(raw, &results[i])
+				}
+				if rerr != nil {
+					errs[i] = fmt.Errorf("%s/%s: %w", suite, name, rerr)
+					rec.Error = errs[i].Error()
+					failed.Store(true)
+				} else {
+					rec.Remote = true
+					e.cache.Put(key, e.version, suite, name, seed, t.Config, results[i])
+					e.ledgerRecord(suite, name, key, results[i])
+				}
 			default:
 				var res R
 				var err error
 				if t.RunPhased != nil {
-					res, err = t.RunPhased(seed, e.ckpt.Task(suite, name))
+					res, err = t.RunPhased(seed, e.ledgerTask(suite, name))
 				} else {
 					res, err = t.Run(seed)
 				}
@@ -102,7 +128,10 @@ func Run[R any](e *Engine, suite string, baseSeed int64, tasks []Task[R]) ([]R, 
 				} else {
 					results[i] = res
 					e.cache.Put(key, e.version, suite, name, seed, t.Config, res)
-					e.ckpt.Record(suite, name, key, res)
+					e.ledgerRecord(suite, name, key, res)
+					if e.observer != nil {
+						e.observer(suite, name, key, seed, res)
+					}
 				}
 			}
 		}
@@ -166,6 +195,9 @@ func Run[R any](e *Engine, suite string, baseSeed int64, tasks []Task[R]) ([]R, 
 		case r.Error == "" && r.CacheKey != "":
 			m.CacheMisses++
 		}
+		if r.Remote {
+			m.RemoteRuns++
+		}
 	}
 	e.record(m)
 	e.reporter.Finish(m)
@@ -176,4 +208,27 @@ func Run[R any](e *Engine, suite string, baseSeed int64, tasks []Task[R]) ([]R, 
 		}
 	}
 	return results, nil
+}
+
+// ledgerLookup, ledgerRecord, and ledgerTask guard the optional sweep
+// ledger: e.ckpt is an interface now, so the nil-receiver tolerance the
+// *Checkpointer methods provide no longer covers an unset option.
+func (e *Engine) ledgerLookup(key string, out any) bool {
+	if e.ckpt == nil {
+		return false
+	}
+	return e.ckpt.Lookup(key, out)
+}
+
+func (e *Engine) ledgerRecord(suite, name, key string, result any) {
+	if e.ckpt != nil {
+		e.ckpt.Record(suite, name, key, result)
+	}
+}
+
+func (e *Engine) ledgerTask(suite, name string) TaskCheckpoint {
+	if e.ckpt == nil {
+		return nil
+	}
+	return e.ckpt.Task(suite, name)
 }

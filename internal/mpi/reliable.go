@@ -14,6 +14,10 @@ type RetryOpts struct {
 	// side) after the first attempt, in seconds (default 1 ms).
 	Timeout float64
 	// Backoff multiplies the timeout after each failed attempt (default 2).
+	// Values ≤ 1 are clamped to the default: a shrinking or constant
+	// schedule never outwaits the congestion or degraded episode that ate
+	// the first attempt, and a shrinking one would silently starve the
+	// later attempts of their wait budget.
 	Backoff float64
 }
 
@@ -24,7 +28,7 @@ func (o RetryOpts) withDefaults() RetryOpts {
 	if o.Timeout <= 0 {
 		o.Timeout = 1e-3
 	}
-	if o.Backoff <= 0 {
+	if o.Backoff <= 1 {
 		o.Backoff = 2
 	}
 	return o

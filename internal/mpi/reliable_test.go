@@ -1,0 +1,114 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hclocksync/internal/faults"
+)
+
+// The zero value and out-of-range knobs all land on the documented
+// defaults; in particular any non-growing Backoff (≤ 1) is clamped to 2 so
+// the schedule always widens its patience.
+func TestRetryOptsDefaults(t *testing.T) {
+	for _, tc := range []struct {
+		in   RetryOpts
+		want RetryOpts
+	}{
+		{RetryOpts{}, RetryOpts{Attempts: 3, Timeout: 1e-3, Backoff: 2}},
+		{RetryOpts{Backoff: 0.5}, RetryOpts{Attempts: 3, Timeout: 1e-3, Backoff: 2}},
+		{RetryOpts{Backoff: 1}, RetryOpts{Attempts: 3, Timeout: 1e-3, Backoff: 2}},
+		{RetryOpts{Attempts: -1, Timeout: -2, Backoff: -3}, RetryOpts{Attempts: 3, Timeout: 1e-3, Backoff: 2}},
+		{RetryOpts{Attempts: 7, Timeout: 0.5, Backoff: 3}, RetryOpts{Attempts: 7, Timeout: 0.5, Backoff: 3}},
+	} {
+		if got := tc.in.withDefaults(); got != tc.want {
+			t.Errorf("withDefaults(%+v) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// Attempt exhaustion burns exactly the geometric wait budget: with every
+// data message dropped, SendRetry waits timeout·(1+2+4) of virtual time
+// before giving up.
+func TestSendRetryExhaustsGeometricBudget(t *testing.T) {
+	opts := RetryOpts{Attempts: 3, Timeout: 0.01, Backoff: 2}
+	err := runFaulty(2, 7, faults.Plan{DropProb: 1, Seed: 9}, func(p *Proc) {
+		if p.Rank() != 0 {
+			return
+		}
+		start := p.TrueNow()
+		if p.World().SendRetry(1, 100, []byte("x"), opts) {
+			t.Error("SendRetry reported an ack over a DropProb=1 link")
+		}
+		if dt := p.TrueNow() - start; dt < 0.07 || dt > 0.08 {
+			t.Errorf("exhaustion took %v of virtual time, want ~0.07 (0.01+0.02+0.04)", dt)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A sub-unit Backoff must behave exactly like the default, not silently
+// shrink the later waits: unclamped, Backoff=0.5 would give up after
+// 0.0175 s instead of 0.07 s.
+func TestSendRetryClampsShrinkingBackoff(t *testing.T) {
+	opts := RetryOpts{Attempts: 3, Timeout: 0.01, Backoff: 0.5}
+	err := runFaulty(2, 7, faults.Plan{DropProb: 1, Seed: 9}, func(p *Proc) {
+		if p.Rank() != 0 {
+			return
+		}
+		start := p.TrueNow()
+		if p.World().SendRetry(1, 100, []byte("x"), opts) {
+			t.Error("SendRetry reported an ack over a DropProb=1 link")
+		}
+		if dt := p.TrueNow() - start; dt < 0.07 || dt > 0.08 {
+			t.Errorf("exhaustion took %v of virtual time, want ~0.07 (clamped schedule)", dt)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The lockstep property under random drops, across seeds: whenever the
+// sender reports success the receiver must have delivered the exact
+// payload (the ack only exists because the receiver sent it). The inverse
+// is not required — a delivered payload whose ack was dropped is the
+// legal two-generals outcome.
+func TestRetryPairStaysInLockstepUnderDrops(t *testing.T) {
+	opts := RetryOpts{Attempts: 4, Timeout: 0.02, Backoff: 2}
+	payload := []byte("reliable-payload")
+	var acked int
+	for seed := int64(1); seed <= 8; seed++ {
+		var sok, rok bool
+		var got []byte
+		err := runFaulty(2, seed, faults.Plan{DropProb: 0.5, Seed: seed}, func(p *Proc) {
+			w := p.World()
+			if p.Rank() == 0 {
+				sok = w.SendRetry(1, 100, payload, opts)
+			} else {
+				got, rok = w.RecvRetry(0, 100, opts)
+			}
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if sok {
+			acked++
+			if !rok {
+				t.Errorf("seed %d: sender saw an ack the receiver never sent", seed)
+			}
+		}
+		if rok && !bytes.Equal(got, payload) {
+			t.Errorf("seed %d: receiver got %q, want %q", seed, got, payload)
+		}
+		if testing.Verbose() {
+			t.Log(fmt.Sprintf("seed %d: sender=%v receiver=%v", seed, sok, rok))
+		}
+	}
+	if acked == 0 {
+		t.Error("no seed produced an acked exchange — drop rate too high for the property to bite")
+	}
+}
