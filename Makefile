@@ -39,6 +39,7 @@ fuzz:
 	$(GO) test ./internal/clocksync -run '^$$' -fuzz 'FuzzFitOffsetSamples$$' -fuzztime 10s
 	$(GO) test ./internal/clocksync -run '^$$' -fuzz FuzzFitOffsetSamplesRobust -fuzztime 10s
 	$(GO) test ./internal/analysis -run '^$$' -fuzz FuzzParseDirective -fuzztime 10s
+	$(GO) test ./internal/analysis -run '^$$' -fuzz FuzzFieldCoverage -fuzztime 10s
 	$(GO) test ./internal/checkpoint -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 10s
 
 # The repository's own multichecker (determinism, seed flow, allocfree

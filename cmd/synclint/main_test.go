@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"sort"
+	"testing"
+
+	"hclocksync/internal/analysis"
+	"hclocksync/internal/analysis/registry"
+)
+
+// TestParallelLoadIsDeterministic pins the -jobs contract: LoadParallel
+// returns packages in the same order as Load, and the diagnostics that
+// come out of the analyzer suite are byte-identical and position-sorted
+// regardless of how the load was scheduled.
+func TestParallelLoadIsDeterministic(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := analysis.ModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := []string{"./internal/stats", "./internal/trace", "./internal/clock"}
+
+	serial, err := analysis.Load(root, patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := analysis.LoadParallel(root, 4, patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) || len(serial) == 0 {
+		t.Fatalf("Load returned %d packages, LoadParallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].PkgPath != parallel[i].PkgPath {
+			t.Errorf("package order diverged at %d: %s vs %s", i, serial[i].PkgPath, parallel[i].PkgPath)
+		}
+	}
+
+	render := func(pkgs []*analysis.Package) []string {
+		diags, err := analysis.RunAll(pkgs, registry.All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(diags))
+		for i, d := range diags {
+			out[i] = d.String()
+		}
+		return out
+	}
+	serialOut := render(serial)
+	parallelOut := render(parallel)
+	if len(serialOut) != len(parallelOut) {
+		t.Fatalf("diagnostic count diverged: %d vs %d", len(serialOut), len(parallelOut))
+	}
+	for i := range serialOut {
+		if serialOut[i] != parallelOut[i] {
+			t.Errorf("diagnostic %d diverged:\n serial:   %s\n parallel: %s", i, serialOut[i], parallelOut[i])
+		}
+	}
+	if !sort.StringsAreSorted(parallelOut) {
+		// Position-sorted diagnostics render in sorted string order when
+		// they share no file; this is a sanity check, not the contract.
+		t.Logf("rendered diagnostics not lexically sorted (fine if files interleave): %v", parallelOut)
+	}
+}

@@ -20,8 +20,9 @@ import (
 	"sort"
 )
 
-// Analyzer describes one analysis: a name, documentation, and a Run
-// function applied to one package at a time.
+// Analyzer describes one analysis: a name, documentation, and either a
+// per-package Run function or a whole-program RunProgram function
+// (exactly one must be set).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics (synclint prints
 	// "file:line:col: name: message").
@@ -30,6 +31,13 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one type-checked package.
 	Run func(*Pass) error
+	// RunProgram applies the analyzer to the whole loaded package set at
+	// once. The field-coverage analyzers need this shape: the struct
+	// declarations and their //synclint: annotations live in the owning
+	// packages while the codec or call sites that discharge the
+	// obligation live elsewhere, so no single-package view can decide
+	// whether a field is covered.
+	RunProgram func(*ProgramPass) error
 }
 
 // Pass hands an analyzer one type-checked package and a sink for
@@ -70,28 +78,106 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Allows reports whether a directive named name covers the line of pos:
 // either trailing on the same line or alone on the line immediately above.
 func (p *Pass) Allows(pos token.Pos, name string) bool {
-	return p.Dirs.Allows(p.Fset.Position(pos).Line, name)
+	pp := p.Fset.Position(pos)
+	return p.Dirs.Allows(pp.Filename, pp.Line, name)
 }
 
-// Run applies each analyzer to pkg and returns the diagnostics sorted by
-// position.
+// Program is the whole loaded package set handed to program-level
+// analyzers, with the per-package directive indexes built once.
+type Program struct {
+	Pkgs []*Package
+	dirs map[*Package]*DirIndex
+}
+
+// NewProgram indexes the directives of every package.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{Pkgs: pkgs, dirs: make(map[*Package]*DirIndex, len(pkgs))}
+	for _, pkg := range pkgs {
+		prog.dirs[pkg] = IndexDirectives(pkg.Fset, pkg.Files)
+	}
+	return prog
+}
+
+// Dirs returns the directive index of pkg.
+func (prog *Program) Dirs(pkg *Package) *DirIndex { return prog.dirs[pkg] }
+
+// ProgramPass hands a program-level analyzer every loaded package and a
+// sink for diagnostics. Positions are package-relative: each package
+// carries its own FileSet (they differ under parallel loading), so every
+// report and escape lookup names the package it concerns.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos, resolved through pkg's FileSet.
+func (p *ProgramPass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Allows reports whether a directive named name covers the line of pos
+// in pkg.
+func (p *ProgramPass) Allows(pkg *Package, pos token.Pos, name string) bool {
+	pp := pkg.Fset.Position(pos)
+	return p.Prog.Dirs(pkg).Allows(pp.Filename, pp.Line, name)
+}
+
+// Find returns the directive named name covering the line of pos in pkg.
+func (p *ProgramPass) Find(pkg *Package, pos token.Pos, name string) (Directive, bool) {
+	pp := pkg.Fset.Position(pos)
+	return p.Prog.Dirs(pkg).Find(pp.Filename, pp.Line, name)
+}
+
+// Run applies each analyzer to the single package pkg and returns the
+// diagnostics sorted by position. Program-level analyzers see a
+// one-package program — the shape the analysistest fixtures use.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAll([]*Package{pkg}, analyzers)
+}
+
+// RunAll applies each analyzer to the loaded package set: per-package
+// analyzers once per package, program-level analyzers once over the
+// whole set. Diagnostics come back sorted by position regardless of
+// package order, so output is deterministic under any load schedule.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	dirs := IndexDirectives(pkg.Fset, pkg.Files)
+	prog := NewProgram(pkgs)
 	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-			Dirs:      dirs,
-			diags:     &diags,
+		if a.RunProgram != nil {
+			pass := &ProgramPass{Analyzer: a, Prog: prog, diags: &diags}
+			if err := a.RunProgram(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		for _, pkg := range pkgs {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Dirs:      prog.Dirs(pkg),
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
 		}
 	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders diags by (file, line, column, analyzer,
+// message) — the stable order synclint prints in every output mode.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -103,9 +189,22 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
-	return diags, nil
+}
+
+// CountDirectives tallies every well-formed //synclint: directive across
+// pkgs by name. The selfcheck asserts these counts exactly so a new
+// escape hatch shows up as a reviewed diff, not silent growth.
+func CountDirectives(pkgs []*Package) map[string]int {
+	counts := map[string]int{}
+	for _, pkg := range pkgs {
+		IndexDirectives(pkg.Fset, pkg.Files).Count(counts)
+	}
+	return counts
 }
 
 // FuncOf resolves a call expression to the static *types.Func it invokes

@@ -1,0 +1,180 @@
+// Package cachekey enforces cache-key hygiene on the config structs
+// that flow into harness.CacheKey. The content-addressed result cache
+// keys on the JSON encoding of a task's config, so a field the encoder
+// does not see is a field two *different* experiments can share a cached
+// result through — the silent-corruption dual of a snapshot field that
+// never enters the codec.
+//
+// For every struct type that reaches CacheKey's config argument (via a
+// harness.Task literal's Config element or a direct CacheKey call), each
+// field must be exactly one of:
+//
+//   - JSON-visible: exported, not tagged json:"-" — it enters the key;
+//   - execution-only: tagged json:"-" (or unexported, which the encoder
+//     skips the same way) AND annotated //synclint:execonly -- <reason>
+//     recording why results cannot depend on it (the PR 8 Workers
+//     pattern, made mandatory).
+//
+// JSON-visible fields tagged omitempty additionally need
+// //synclint:zerokey -- <reason>: omitempty drops the zero value from
+// the key, so "field absent" and "field zero" become the same cache
+// entry. That is deliberate for additive config growth (a new phased-cut
+// flag must not invalidate every old key), and wrong for a field whose
+// zero is a meaningful setting — the reason must say which one this is.
+//
+// What the analyzer cannot prove: that an execonly field truly does not
+// influence results (that is what the byte-identity tests at different
+// worker counts are for), or key hygiene for configs passed as
+// pre-formed interface values whose concrete type never appears at a
+// call site.
+package cachekey
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"hclocksync/internal/analysis"
+)
+
+// harnessPkg is the import path owning Task and CacheKey; a variable so
+// the analysistest fixture, type-checked under its own path, can stand
+// in for the real package.
+var harnessPkg = "hclocksync/internal/harness"
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "cachekey",
+	Doc:        "config structs reaching harness.CacheKey must have every field JSON-visible or an audited execution-only knob",
+	RunProgram: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	structs := analysis.BuildStructIndex(pass.Prog.Pkgs)
+
+	// Collect the root config types: every concrete struct type that
+	// appears as a harness.Task Config element or as CacheKey's config
+	// argument anywhere in the program.
+	roots := map[string]bool{}
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CompositeLit:
+					collectTaskLit(pkg, n, roots)
+				case *ast.CallExpr:
+					collectCacheKeyCall(pkg, n, roots)
+				}
+				return true
+			})
+		}
+	}
+
+	checked := map[string]bool{}
+	for key := range roots { //synclint:ordered -- diagnostics are position-sorted by the framework afterwards
+		if sd, ok := structs[key]; ok {
+			check(pass, structs, sd, checked)
+		}
+	}
+	return nil
+}
+
+// collectTaskLit records the static type of the Config element of a
+// harness.Task composite literal.
+func collectTaskLit(pkg *analysis.Package, lit *ast.CompositeLit, roots map[string]bool) {
+	tv, ok := pkg.Info.Types[lit]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Name() != "Task" || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != harnessPkg {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); !ok || id.Name != "Config" {
+			continue
+		}
+		if ref, ok := analysis.NamedStructRef(pkg, kv.Value); ok {
+			roots[ref.String()] = true
+		}
+	}
+}
+
+// collectCacheKeyCall records the static type of the config argument of
+// a direct harness.CacheKey call. Interface-typed arguments are skipped:
+// the concrete type was recorded where the value was built.
+func collectCacheKeyCall(pkg *analysis.Package, call *ast.CallExpr, roots map[string]bool) {
+	if !analysis.IsPkgFunc(pkg.Info, call, harnessPkg, "CacheKey") {
+		return
+	}
+	const configArg = 4
+	if len(call.Args) <= configArg {
+		return
+	}
+	arg := call.Args[configArg]
+	if tv, ok := pkg.Info.Types[arg]; ok {
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
+			return
+		}
+	}
+	if ref, ok := analysis.NamedStructRef(pkg, arg); ok {
+		roots[ref.String()] = true
+	}
+}
+
+// check audits one config struct and recurses into the JSON-visible
+// struct-typed fields (they enter the key too).
+func check(pass *analysis.ProgramPass, structs analysis.StructIndex, sd *analysis.StructDecl, checked map[string]bool) {
+	if checked[sd.Ref().String()] {
+		return
+	}
+	checked[sd.Ref().String()] = true
+	dirs := pass.Prog.Dirs(sd.Pkg)
+	for _, fld := range sd.Fields {
+		ref := analysis.FieldRef{Pkg: sd.Pkg.PkgPath, Type: sd.Name, Field: fld.Name}
+		jsonTag := reflect.StructTag(fld.Tag).Get("json")
+		name, opts, _ := strings.Cut(jsonTag, ",")
+		exported := ast.IsExported(fld.Name)
+		switch {
+		case name == "-" && jsonTag == "-":
+			// Execution-only by tag: must carry the audit.
+			if _, ok := sd.FieldDirective(dirs, fld, analysis.DirExeconly); !ok {
+				pass.Reportf(sd.Pkg, fld.Pos(), "cache-key field %s is tagged json:\"-\" but not annotated: results must not depend on it; audit with //synclint:execonly -- <reason> (or drop the tag so it enters the key)", ref)
+			}
+		case !exported:
+			// The JSON encoder skips unexported fields, so this is an
+			// untagged execution-only field.
+			if _, ok := sd.FieldDirective(dirs, fld, analysis.DirExeconly); !ok {
+				pass.Reportf(sd.Pkg, fld.Pos(), "cache-key field %s is unexported and never enters the key: export it, or audit with //synclint:execonly -- <reason>", ref)
+			}
+		default:
+			if hasOpt(opts, "omitempty") {
+				if _, ok := sd.FieldDirective(dirs, fld, analysis.DirZerokey); !ok {
+					pass.Reportf(sd.Pkg, fld.Pos(), "cache-key field %s is omitempty: the zero value drops out of the key, so a zero config and an absent one share cached results; audit with //synclint:zerokey -- <reason> (or remove omitempty)", ref)
+				}
+			}
+			if sub, ok := analysis.NamedStructRef(sd.Pkg, fld.Type); ok {
+				if subDecl, ok := structs[sub.String()]; ok {
+					check(pass, structs, subDecl, checked)
+				}
+			}
+		}
+	}
+}
+
+// hasOpt reports whether the comma-separated json tag options contain
+// opt.
+func hasOpt(opts, opt string) bool {
+	for opts != "" {
+		var o string
+		o, opts, _ = strings.Cut(opts, ",")
+		if o == opt {
+			return true
+		}
+	}
+	return false
+}

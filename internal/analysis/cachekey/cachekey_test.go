@@ -1,0 +1,15 @@
+package cachekey
+
+import (
+	"testing"
+
+	"hclocksync/internal/analysis/analysistest"
+)
+
+func TestCachekey(t *testing.T) {
+	// The fixture is type-checked under its own path, so its local Task
+	// and CacheKey stand in for the harness package.
+	defer func(old string) { harnessPkg = old }(harnessPkg)
+	harnessPkg = "a"
+	analysistest.Run(t, Analyzer, "a")
+}

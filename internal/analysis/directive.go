@@ -13,16 +13,22 @@ import (
 //
 //	//synclint:<name>
 //	//synclint:<name> -- <reason>
+//	//synclint:<name> <arg>
+//	//synclint:<name> <arg> -- <reason>
 //
 // with no space before the colon (matching the //go: convention so the
 // directives survive gofmt untouched). <name> is one of the known directive
 // names below; <reason> is free text explaining why the escape hatch is
 // justified. Reasons are mandatory for the escape-hatch directives — an
 // unaudited escape is exactly the silent rot the analyzers exist to stop.
+// <arg> is a single Go identifier and only the argument-taking directives
+// (guardedby) accept one; for those the argument is mandatory and the
+// reason stays optional.
 //
 // Placement: trailing on the guarded line, or alone on the line directly
 // above it. The function-scope directive (allocfree) goes in the function's
-// doc comment.
+// doc comment; the type-scope directive (snapshot) goes in the struct
+// type's doc comment.
 
 // Known directive names and which analyzers consume them.
 const (
@@ -46,6 +52,34 @@ const (
 	// DirChecked permits an audited discard of an mpi send/recv result.
 	// Requires a reason. Line scope.
 	DirChecked = "checked"
+	// DirSnapshot marks a struct type as a checkpoint state root: the
+	// snapfields analyzer requires every field of every struct reachable
+	// from it to be wired through an encode*/decode* codec pair. Type
+	// scope (the struct's doc comment).
+	DirSnapshot = "snapshot"
+	// DirNosnap exempts one struct field from snapshot coverage (derived
+	// state, config re-supplied on resume, ...). Requires a reason. Line
+	// scope (the field declaration).
+	DirNosnap = "nosnap"
+	// DirExeconly marks a cache-key config field as an execution-only
+	// knob: tagged json:"-" so it never reaches a key, with the reason
+	// recording why results cannot depend on it. Requires a reason. Line
+	// scope (the field declaration).
+	DirExeconly = "execonly"
+	// DirZerokey audits an omitempty field of a cache-key config: the
+	// zero value deliberately drops out of the key (the key-stability
+	// pattern of phased cuts), so the reason must say why zero is the
+	// same experiment as absent. Requires a reason. Line scope.
+	DirZerokey = "zerokey"
+	// DirGuardedby declares that a struct field may only be accessed in
+	// functions that lock the named sibling mutex field on the same
+	// receiver. Takes the mutex field name as its argument. Line scope
+	// (the field declaration).
+	DirGuardedby = "guardedby"
+	// DirUnguarded permits an audited access to a guardedby field without
+	// the mutex held (construction before sharing, happens-before via
+	// channel or join). Requires a reason. Line scope.
+	DirUnguarded = "unguarded"
 )
 
 // knownDirectives maps each directive name to whether a reason is
@@ -57,6 +91,18 @@ var knownDirectives = map[string]bool{
 	DirWallclock: true,
 	DirSeedok:    true,
 	DirChecked:   true,
+	DirSnapshot:  false,
+	DirNosnap:    true,
+	DirExeconly:  true,
+	DirZerokey:   true,
+	DirGuardedby: false, // takes an argument instead; reason optional
+	DirUnguarded: true,
+}
+
+// argDirectives maps the directive names that take a mandatory identifier
+// argument between the name and the optional reason.
+var argDirectives = map[string]bool{
+	DirGuardedby: true,
 }
 
 const directivePrefix = "//synclint:"
@@ -64,16 +110,21 @@ const directivePrefix = "//synclint:"
 // Directive is one parsed //synclint: annotation.
 type Directive struct {
 	Name   string // e.g. "ordered"
+	Arg    string // identifier argument (guardedby), empty otherwise
 	Reason string // text after " -- ", empty if none
 }
 
 // String renders the directive in canonical comment form; it is the
 // inverse of ParseDirective for well-formed input.
 func (d Directive) String() string {
-	if d.Reason == "" {
-		return directivePrefix + d.Name
+	s := directivePrefix + d.Name
+	if d.Arg != "" {
+		s += " " + d.Arg
 	}
-	return directivePrefix + d.Name + " -- " + d.Reason
+	if d.Reason != "" {
+		s += " -- " + d.Reason
+	}
+	return s
 }
 
 // ParseDirective parses one comment's raw text (including the leading
@@ -93,17 +144,9 @@ func ParseDirective(raw string) (d Directive, ok bool, err error) {
 	}
 	rest := raw[len(directivePrefix):]
 	name := rest
-	reason := ""
+	tail := ""
 	if i := strings.IndexAny(rest, " \t"); i >= 0 {
-		name, reason = rest[:i], strings.TrimLeft(rest[i:], " \t")
-		if r, okSep := strings.CutPrefix(reason, "-- "); okSep {
-			reason = strings.TrimSpace(r)
-			if reason == "" {
-				return Directive{}, false, fmt.Errorf("malformed synclint directive %q: empty reason after %q", raw, "--")
-			}
-		} else {
-			return Directive{}, false, fmt.Errorf("malformed synclint directive %q: reason must be separated by %q", raw, " -- ")
-		}
+		name, tail = rest[:i], strings.TrimLeft(rest[i:], " \t")
 	}
 	if name == "" {
 		return Directive{}, false, fmt.Errorf("malformed synclint directive %q: missing name", raw)
@@ -114,19 +157,70 @@ func ParseDirective(raw string) (d Directive, ok bool, err error) {
 		}
 	}
 	if _, known := knownDirectives[name]; !known {
-		return Directive{}, false, fmt.Errorf("unknown synclint directive %q (known: allocfree, alloc, ordered, wallclock, seedok, checked)", name)
+		return Directive{}, false, fmt.Errorf("unknown synclint directive %q (known: allocfree, alloc, ordered, wallclock, seedok, checked, snapshot, nosnap, execonly, zerokey, guardedby, unguarded)", name)
+	}
+	arg := ""
+	if argDirectives[name] {
+		arg = tail
+		tail = ""
+		if i := strings.IndexAny(arg, " \t"); i >= 0 {
+			arg, tail = arg[:i], strings.TrimLeft(arg[i:], " \t")
+		}
+		if arg == "" || strings.HasPrefix(arg, "--") {
+			return Directive{}, false, fmt.Errorf("synclint directive %q requires a field argument: //synclint:%s <mutexField>", name, name)
+		}
+		if !isIdent(arg) {
+			return Directive{}, false, fmt.Errorf("malformed synclint directive %q: argument %q must be a Go identifier", raw, arg)
+		}
+	}
+	reason := ""
+	if tail != "" {
+		r, okSep := strings.CutPrefix(tail, "-- ")
+		if !okSep {
+			return Directive{}, false, fmt.Errorf("malformed synclint directive %q: reason must be separated by %q", raw, " -- ")
+		}
+		reason = strings.TrimSpace(r)
+		if reason == "" {
+			return Directive{}, false, fmt.Errorf("malformed synclint directive %q: empty reason after %q", raw, "--")
+		}
 	}
 	if knownDirectives[name] && reason == "" {
 		return Directive{}, false, fmt.Errorf("synclint directive %q requires a reason: //synclint:%s -- <why this is safe>", name, name)
 	}
-	return Directive{Name: name, Reason: reason}, true, nil
+	return Directive{Name: name, Arg: arg, Reason: reason}, true, nil
+}
+
+// isIdent reports whether s is a plain Go identifier (ASCII letters,
+// digits, underscore; no leading digit).
+func isIdent(s string) bool {
+	for i, r := range s {
+		switch {
+		case r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
 }
 
 // DirIndex indexes the well-formed directives of one package's files by
-// line, plus the malformed ones for the directive analyzer to report.
+// (file, line), plus the malformed ones for the directive analyzer to
+// report. The file component matters: a package has many files and line
+// numbers restart in each, so a line-only index would let a directive in
+// one file silently cover the same-numbered line of a sibling file.
 type DirIndex struct {
-	byLine map[int][]Directive // line number -> directives on that line
+	byLine map[lineKey][]Directive
 	bad    []badDirective
+}
+
+// lineKey addresses one physical source line.
+type lineKey struct {
+	file string
+	line int
 }
 
 type badDirective struct {
@@ -136,7 +230,7 @@ type badDirective struct {
 
 // IndexDirectives scans every comment of files.
 func IndexDirectives(fset *token.FileSet, files []*ast.File) *DirIndex {
-	ix := &DirIndex{byLine: map[int][]Directive{}}
+	ix := &DirIndex{byLine: map[lineKey][]Directive{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -146,8 +240,9 @@ func IndexDirectives(fset *token.FileSet, files []*ast.File) *DirIndex {
 					continue
 				}
 				if ok {
-					line := fset.Position(c.Pos()).Line
-					ix.byLine[line] = append(ix.byLine[line], d)
+					p := fset.Position(c.Pos())
+					k := lineKey{file: p.Filename, line: p.Line}
+					ix.byLine[k] = append(ix.byLine[k], d)
 				}
 			}
 		}
@@ -155,20 +250,72 @@ func IndexDirectives(fset *token.FileSet, files []*ast.File) *DirIndex {
 	return ix
 }
 
-// Allows reports whether a directive named name covers line: trailing on
-// the line itself or alone on the line above.
-func (ix *DirIndex) Allows(line int, name string) bool {
-	for _, d := range ix.byLine[line] {
+// Allows reports whether a directive named name covers line of file:
+// trailing on the line itself or alone on the line above.
+func (ix *DirIndex) Allows(file string, line int, name string) bool {
+	for _, d := range ix.byLine[lineKey{file, line}] {
 		if d.Name == name {
 			return true
 		}
 	}
-	for _, d := range ix.byLine[line-1] {
+	for _, d := range ix.byLine[lineKey{file, line - 1}] {
 		if d.Name == name {
 			return true
 		}
 	}
 	return false
+}
+
+// Find returns the directive named name covering line of file (trailing
+// on the line itself or alone on the line above), for callers that need
+// the directive's argument or reason rather than a bare yes/no.
+func (ix *DirIndex) Find(file string, line int, name string) (Directive, bool) {
+	for _, d := range ix.byLine[lineKey{file, line}] {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	for _, d := range ix.byLine[lineKey{file, line - 1}] {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// findOn returns the directive named name sitting exactly on line of file.
+func (ix *DirIndex) findOn(file string, line int, name string) (Directive, bool) {
+	for _, d := range ix.byLine[lineKey{file, line}] {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// Count tallies the well-formed directives of the index by name, for the
+// escape-budget selfcheck.
+func (ix *DirIndex) Count(into map[string]int) {
+	for _, ds := range ix.byLine { //synclint:ordered -- accumulating counts into a map; order-insensitive
+		for _, d := range ds {
+			into[d.Name]++
+		}
+	}
+}
+
+// DocDirective reports whether a declaration doc comment carries the named
+// directive — the lookup FuncDirective does for functions, shared with
+// type declarations (//synclint:snapshot roots).
+func DocDirective(doc *ast.CommentGroup, name string) (Directive, bool) {
+	if doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range doc.List {
+		if d, ok, _ := ParseDirective(c.Text); ok && d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
 }
 
 // FuncDirective reports whether fn's doc comment carries the named

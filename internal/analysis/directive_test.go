@@ -21,6 +21,15 @@ func TestParseDirective(t *testing.T) {
 		{raw: "//synclint:alloc -- pool warm-up", want: Directive{Name: "alloc", Reason: "pool warm-up"}, ok: true},
 		{raw: "//synclint:seedok -- audited stream", want: Directive{Name: "seedok", Reason: "audited stream"}, ok: true},
 		{raw: "//synclint:checked -- best effort", want: Directive{Name: "checked", Reason: "best effort"}, ok: true},
+		{raw: "//synclint:snapshot", want: Directive{Name: "snapshot"}, ok: true},
+		{raw: "//synclint:nosnap -- derived at restore", want: Directive{Name: "nosnap", Reason: "derived at restore"}, ok: true},
+		{raw: "//synclint:execonly -- parallelism knob", want: Directive{Name: "execonly", Reason: "parallelism knob"}, ok: true},
+		{raw: "//synclint:zerokey -- zero means full run", want: Directive{Name: "zerokey", Reason: "zero means full run"}, ok: true},
+		{raw: "//synclint:unguarded -- construction", want: Directive{Name: "unguarded", Reason: "construction"}, ok: true},
+
+		// Argument grammar (guardedby).
+		{raw: "//synclint:guardedby failMu", want: Directive{Name: "guardedby", Arg: "failMu"}, ok: true},
+		{raw: "//synclint:guardedby mu -- lease state", want: Directive{Name: "guardedby", Arg: "mu", Reason: "lease state"}, ok: true},
 
 		// Not directives at all.
 		{raw: "// ordinary comment"},
@@ -46,6 +55,17 @@ func TestParseDirective(t *testing.T) {
 		{raw: "//synclint:wallclock", wantErr: "requires a reason"},
 		{raw: "//synclint:seedok", wantErr: "requires a reason"},
 		{raw: "//synclint:checked", wantErr: "requires a reason"},
+		{raw: "//synclint:nosnap", wantErr: "requires a reason"},
+		{raw: "//synclint:execonly", wantErr: "requires a reason"},
+		{raw: "//synclint:zerokey", wantErr: "requires a reason"},
+		{raw: "//synclint:unguarded", wantErr: "requires a reason"},
+
+		// Argument violations.
+		{raw: "//synclint:guardedby", wantErr: "requires a field argument"},
+		{raw: "//synclint:guardedby -- no arg", wantErr: "requires a field argument"},
+		{raw: "//synclint:guardedby 2mu", wantErr: "must be a Go identifier"},
+		{raw: "//synclint:guardedby p.mu", wantErr: "must be a Go identifier"},
+		{raw: "//synclint:guardedby mu extra words", wantErr: "separated by"},
 	}
 	for _, tc := range cases {
 		d, ok, err := ParseDirective(tc.raw)
@@ -72,6 +92,10 @@ func TestDirectiveRoundTrip(t *testing.T) {
 	for _, d := range []Directive{
 		{Name: "allocfree"},
 		{Name: "ordered", Reason: "keys sorted"},
+		{Name: "snapshot"},
+		{Name: "guardedby", Arg: "failMu"},
+		{Name: "guardedby", Arg: "mu", Reason: "lease state"},
+		{Name: "nosnap", Reason: "derived at restore"},
 	} {
 		got, ok, err := ParseDirective(d.String())
 		if err != nil || !ok || got != d {
@@ -91,6 +115,7 @@ func body() {
 	y := 2
 	_ = x
 	_ = y
+	_ = x //synclint:guardedby failMu
 }
 
 //synclint:alloc
@@ -106,21 +131,50 @@ func TestIndexDirectives(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix := IndexDirectives(fset, []*ast.File{f})
+	// A second file in the same package: its lines must not inherit the
+	// first file's directives just because the numbers coincide.
+	g, err := parser.ParseFile(fset, "q.go", "package p\n\nfunc other() {}\n", parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := IndexDirectives(fset, []*ast.File{f, g})
 	// Trailing form covers its own line.
-	if !ix.Allows(7, "ordered") {
+	if !ix.Allows("p.go", 7, "ordered") {
 		t.Error("trailing directive on line 7 not found")
 	}
 	// Line-above form covers the next line.
-	if !ix.Allows(9, "wallclock") {
+	if !ix.Allows("p.go", 9, "wallclock") {
 		t.Error("line-above directive did not cover line 9")
 	}
-	if ix.Allows(9, "ordered") {
+	if ix.Allows("p.go", 9, "ordered") {
 		t.Error("ordered directive leaked to line 9")
+	}
+	// Directives are file-scoped: the same line number in a sibling file
+	// is not covered.
+	if ix.Allows("q.go", 7, "ordered") || ix.Allows("q.go", 9, "wallclock") {
+		t.Error("directive leaked across files to q.go")
 	}
 	// The two malformed directives are collected for synclintdir.
 	if len(ix.bad) != 2 {
 		t.Errorf("bad directives = %d, want 2", len(ix.bad))
+	}
+	// Find surfaces the full directive, not just presence.
+	if d, ok := ix.Find("p.go", 7, "ordered"); !ok || d.Reason != "trailing form" {
+		t.Errorf("Find(7, ordered) = %+v, %v", d, ok)
+	}
+	if d, ok := ix.Find("p.go", 12, "guardedby"); !ok || d.Arg != "failMu" {
+		t.Errorf("Find(12, guardedby) = %+v, %v", d, ok)
+	}
+	if _, ok := ix.Find("p.go", 7, "wallclock"); ok {
+		t.Error("Find leaked wallclock to line 7")
+	}
+	counts := map[string]int{}
+	ix.Count(counts)
+	want := map[string]int{"allocfree": 1, "ordered": 1, "wallclock": 1, "guardedby": 1}
+	for name, n := range want {
+		if counts[name] != n {
+			t.Errorf("Count[%s] = %d, want %d", name, counts[name], n)
+		}
 	}
 }
 
@@ -143,6 +197,12 @@ func FuzzParseDirective(f *testing.F) {
 		"//go:noinline",
 		"//synclint:ordered\t--\treason with tabs",
 		"//synclint:ordered -- reason -- with -- separators",
+		"//synclint:snapshot",
+		"//synclint:guardedby failMu",
+		"//synclint:guardedby mu -- lease state",
+		"//synclint:guardedby",
+		"//synclint:guardedby 2mu",
+		"//synclint:nosnap -- derived at restore",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -164,6 +224,13 @@ func FuzzParseDirective(f *testing.F) {
 		}
 		if needReason && d.Reason == "" {
 			t.Fatalf("ParseDirective(%q) accepted %q without its mandatory reason", raw, d.Name)
+		}
+		if argDirectives[d.Name] {
+			if !isIdent(d.Arg) {
+				t.Fatalf("ParseDirective(%q) accepted %q with non-identifier arg %q", raw, d.Name, d.Arg)
+			}
+		} else if d.Arg != "" {
+			t.Fatalf("ParseDirective(%q) attached arg %q to non-arg directive %q", raw, d.Arg, d.Name)
 		}
 		// Canonical form must re-parse to the same directive.
 		d2, ok2, err2 := ParseDirective(d.String())

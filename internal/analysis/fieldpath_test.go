@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFieldRef(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    FieldRef
+		wantErr string // substring of the error, "" for success
+	}{
+		{in: "hclocksync/internal/mpi.SessionState.Clocks", want: FieldRef{Pkg: "hclocksync/internal/mpi", Type: "SessionState", Field: "Clocks"}},
+		{in: "hclocksync/internal/mpi.SessionState", want: FieldRef{Pkg: "hclocksync/internal/mpi", Type: "SessionState"}},
+		{in: "sim.EnvState.Now", want: FieldRef{Pkg: "sim", Type: "EnvState", Field: "Now"}},
+		{in: "example.com/m/pkg.T.F", want: FieldRef{Pkg: "example.com/m/pkg", Type: "T", Field: "F"}},
+		{in: "pkg.T._private", want: FieldRef{Pkg: "pkg", Type: "T", Field: "_private"}},
+
+		{in: "", wantErr: "empty"},
+		{in: "pkg", wantErr: "dot-separated parts"},
+		{in: "pkg.T.F.G", wantErr: "dot-separated parts"},
+		{in: "pkg.T.", wantErr: "field name"},
+		{in: "pkg..F", wantErr: "type name"},
+		{in: "a/.T.F", wantErr: "package segment"},
+		{in: "pkg.2T.F", wantErr: "type name"},
+		{in: "pkg.T.F G", wantErr: "whitespace"},
+		{in: "pkg.T .F", wantErr: "whitespace"},
+	}
+	for _, tc := range cases {
+		got, err := ParseFieldRef(tc.in)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ParseFieldRef(%q) err = %v, want containing %q", tc.in, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseFieldRef(%q) unexpected error: %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseFieldRef(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		if got.String() != tc.in {
+			t.Errorf("FieldRef(%q).String() = %q, want the input back", tc.in, got.String())
+		}
+	}
+}
+
+func TestFieldRefMatches(t *testing.T) {
+	field := FieldRef{Pkg: "p/q", Type: "T", Field: "F"}
+	whole := FieldRef{Pkg: "p/q", Type: "T"}
+	other := FieldRef{Pkg: "p/q", Type: "T", Field: "G"}
+	if !field.Matches(field) {
+		t.Error("exact ref does not match itself")
+	}
+	if !whole.Matches(field) || !whole.Matches(other) {
+		t.Error("whole-type ref must cover every field of the type")
+	}
+	if field.Matches(other) {
+		t.Error("field ref matched a different field")
+	}
+	if field.Matches(whole) {
+		t.Error("field ref matched the bare type")
+	}
+	if whole.Matches(FieldRef{Pkg: "p/q", Type: "U", Field: "F"}) {
+		t.Error("ref matched across type names")
+	}
+	if whole.Matches(FieldRef{Pkg: "p/r", Type: "T", Field: "F"}) {
+		t.Error("ref matched across package paths")
+	}
+}
+
+// FuzzFieldCoverage holds the field-path matcher to its contract on
+// arbitrary input: ParseFieldRef never panics, accepted refs have
+// identifier type names, round-trip exactly through String, and match
+// themselves.
+func FuzzFieldCoverage(f *testing.F) {
+	seeds := []string{
+		"hclocksync/internal/mpi.SessionState.Clocks",
+		"hclocksync/internal/cluster.ClockState",
+		"sim.EnvState.Now",
+		"example.com/m/pkg.T.F",
+		"pkg.T._private",
+		"",
+		"pkg",
+		"pkg.T.F.G",
+		"pkg..F",
+		"a/.T.F",
+		"pkg.2T.F",
+		"pkg.T .F",
+		"pkg.T.F\t",
+		"//synclint:snapshot",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		ref, err := ParseFieldRef(in)
+		if err != nil {
+			if ref != (FieldRef{}) {
+				t.Fatalf("ParseFieldRef(%q): error %v alongside non-zero ref %+v", in, err, ref)
+			}
+			return
+		}
+		if !isIdent(ref.Type) || (ref.Field != "" && !isIdent(ref.Field)) {
+			t.Fatalf("ParseFieldRef(%q) accepted non-identifier names: %+v", in, ref)
+		}
+		if ref.String() != in {
+			t.Fatalf("round trip changed the ref: %q -> %+v -> %q", in, ref, ref.String())
+		}
+		ref2, err2 := ParseFieldRef(ref.String())
+		if err2 != nil || ref2 != ref {
+			t.Fatalf("re-parse failed: %+v -> %q -> %+v (err=%v)", ref, ref.String(), ref2, err2)
+		}
+		if !ref.Matches(ref) {
+			t.Fatalf("ref %+v does not match itself", ref)
+		}
+		whole := FieldRef{Pkg: ref.Pkg, Type: ref.Type}
+		if !whole.Matches(ref) {
+			t.Fatalf("whole-type ref %+v does not cover %+v", whole, ref)
+		}
+	})
+}

@@ -1,0 +1,210 @@
+// Package guardedby is a checklocks-lite pass: a struct field annotated
+// //synclint:guardedby <mutexField> may only be read or written in a
+// scope that locks that mutex on the same receiver expression.
+//
+// The check is syntactic and flow-insensitive, deliberately so — the
+// framework has AST and types but no SSA. A scope is one function body
+// (FuncDecl or FuncLit, not counting nested literals); a mutex counts as
+// held in a scope if that same scope contains a Lock or RLock call on
+// the annotated sibling field with a receiver that prints identically
+// (types.ExprString) to the access's receiver. Locks taken in an
+// enclosing function do NOT cover a nested closure: the closure may run
+// on another goroutine after the lock is released, which is exactly the
+// bug class this analyzer exists to catch. Accesses that are provably
+// fine without the lock — construction before the value is shared,
+// reads after a join with a happens-before edge — carry
+// //synclint:unguarded -- <reason>.
+//
+// What the analyzer cannot prove: that the lock is still held at the
+// access (an early Unlock defeats it), that receiver strings denote the
+// same object (two variables named p), or anything about accesses
+// through copies or aliases. It is a lint-time lower bound; the -race
+// differential runs remain the ground truth.
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hclocksync/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated //synclint:guardedby <mutexField> may only be accessed with that mutex locked on the same receiver",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	c := &checker{pass: pass, guards: guards}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.scope(fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// collectGuards resolves every //synclint:guardedby annotation in the
+// package to (guarded field, mutex field) object pairs, reporting
+// annotations whose argument does not name a sibling sync.Mutex or
+// sync.RWMutex.
+func collectGuards(pass *analysis.Pass) map[*types.Var]*types.Var {
+	guards := map[*types.Var]*types.Var{}
+	pkg := &analysis.Package{
+		PkgPath: pass.Pkg.Path(), Fset: pass.Fset, Files: pass.Files,
+		Types: pass.Pkg, Info: pass.TypesInfo,
+	}
+	for _, sd := range analysis.BuildStructIndex([]*analysis.Package{pkg}) { //synclint:ordered -- guard collection fills a lookup map; diagnostics are position-sorted later
+		for _, fld := range sd.Fields {
+			d, ok := sd.FieldDirective(pass.Dirs, fld, analysis.DirGuardedby)
+			if !ok || fld.Ident == nil {
+				continue
+			}
+			fieldVar, ok := pass.TypesInfo.Defs[fld.Ident].(*types.Var)
+			if !ok {
+				continue
+			}
+			mutexIdent := siblingField(sd, d.Arg)
+			if mutexIdent == nil {
+				pass.Reportf(fld.Pos(), "guardedby argument %q names no sibling field of %s", d.Arg, sd.Name)
+				continue
+			}
+			mutexVar, ok := pass.TypesInfo.Defs[mutexIdent].(*types.Var)
+			if !ok || !isMutex(mutexVar.Type()) {
+				pass.Reportf(fld.Pos(), "guardedby mutex %s.%s must be a sync.Mutex or sync.RWMutex", sd.Name, d.Arg)
+				continue
+			}
+			guards[fieldVar] = mutexVar
+		}
+	}
+	return guards
+}
+
+func siblingField(sd *analysis.StructDecl, name string) *ast.Ident {
+	for _, fld := range sd.Fields {
+		if fld.Name == name && fld.Ident != nil {
+			return fld.Ident
+		}
+	}
+	return nil
+}
+
+func isMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	guards map[*types.Var]*types.Var
+}
+
+// lockKey identifies one held mutex: the field object plus the printed
+// receiver expression it was locked on.
+type lockKey struct {
+	mutex *types.Var
+	recv  string
+}
+
+// scope checks one function body: first collect the Lock/RLock calls of
+// this scope (nested function literals excluded — they are their own
+// scopes), then check every guarded-field access against them.
+func (c *checker) scope(body *ast.BlockStmt) {
+	held := map[lockKey]bool{}
+	var nested []*ast.FuncLit
+	walkScope(body, func(n ast.Node) {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			nested = append(nested, lit)
+			return
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if mutex, recv, ok := c.lockCall(call); ok {
+				held[lockKey{mutex, recv}] = true
+			}
+		}
+	})
+	walkScope(body, func(n ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fieldVar := c.fieldOf(sel)
+		mutex, guarded := c.guards[fieldVar]
+		if !guarded {
+			return
+		}
+		recv := types.ExprString(ast.Unparen(sel.X))
+		if held[lockKey{mutex, recv}] {
+			return
+		}
+		if c.pass.Allows(sel.Sel.Pos(), analysis.DirUnguarded) {
+			return
+		}
+		c.pass.Reportf(sel.Sel.Pos(), "field %s.%s is guarded by %s but this scope never locks %s.%s: take the lock in this function (a lock in an enclosing function does not protect a closure), or audit with //synclint:unguarded -- <reason>", recv, sel.Sel.Name, mutex.Name(), recv, mutex.Name())
+	})
+	for _, lit := range nested {
+		c.scope(lit.Body)
+	}
+}
+
+// walkScope visits the nodes of one scope, not descending into nested
+// function literals (they are still reported to fn so the caller can
+// recurse).
+func walkScope(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		fn(n)
+		_, isLit := n.(*ast.FuncLit)
+		return !isLit
+	})
+}
+
+// lockCall matches expr.mutexField.Lock() / .RLock() where mutexField is
+// one of the annotated mutexes, returning the mutex object and the
+// printed receiver.
+func (c *checker) lockCall(call *ast.CallExpr) (*types.Var, string, bool) {
+	outer, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (outer.Sel.Name != "Lock" && outer.Sel.Name != "RLock") {
+		return nil, "", false
+	}
+	inner, ok := ast.Unparen(outer.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	mutexVar := c.fieldOf(inner)
+	if mutexVar == nil {
+		return nil, "", false
+	}
+	for _, m := range c.guards { //synclint:ordered -- membership test only
+		if m == mutexVar {
+			return mutexVar, types.ExprString(ast.Unparen(inner.X)), true
+		}
+	}
+	return nil, "", false
+}
+
+// fieldOf resolves a selector to the struct-field object it selects, or
+// nil for methods, package selectors, and qualified identifiers.
+func (c *checker) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	if s, ok := c.pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

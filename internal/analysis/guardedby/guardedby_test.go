@@ -1,0 +1,11 @@
+package guardedby
+
+import (
+	"testing"
+
+	"hclocksync/internal/analysis/analysistest"
+)
+
+func TestGuardedby(t *testing.T) {
+	analysistest.Run(t, Analyzer, "a")
+}

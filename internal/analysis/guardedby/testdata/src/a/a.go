@@ -1,0 +1,80 @@
+// Package a is the guardedby fixture.
+package a
+
+import "sync"
+
+type pool struct {
+	mu    sync.Mutex
+	stats int //synclint:guardedby mu
+	other int
+}
+
+func (p *pool) good() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+func (p *pool) bad() int {
+	return p.stats // want `field p\.stats is guarded by mu`
+}
+
+func (p *pool) badWrite(v int) {
+	p.stats = v // want `field p\.stats is guarded by mu`
+}
+
+func (p *pool) unrelated() int {
+	return p.other // unguarded field: never checked
+}
+
+// A lock in the enclosing function does not protect a closure: it may
+// run on another goroutine after the lock is released.
+func (p *pool) closure() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		p.stats++ // want `field p\.stats is guarded by mu`
+	}()
+}
+
+// A closure that takes the lock itself is its own scope and passes.
+func (p *pool) closureLocked() func() {
+	return func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.stats++
+	}
+}
+
+func newPool() *pool {
+	p := &pool{}
+	p.stats = 1 //synclint:unguarded -- construction: p is not shared until newPool returns
+	return p
+}
+
+// Locking p's mutex says nothing about q's.
+func (p *pool) wrongReceiver(q *pool) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return q.stats // want `field q\.stats is guarded by mu`
+}
+
+type table struct {
+	rw   sync.RWMutex
+	rows int //synclint:guardedby rw
+}
+
+// RLock counts as holding an RWMutex.
+func (t *table) read() int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.rows
+}
+
+type badAnno struct {
+	//synclint:guardedby nothere
+	x int // want `guardedby argument "nothere" names no sibling field of badAnno`
+	//synclint:guardedby z
+	y int // want `guardedby mutex badAnno\.z must be a sync\.Mutex or sync\.RWMutex`
+	z int
+}

@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sync"
 )
 
 // Package is one loaded, parsed, and type-checked package.
@@ -56,28 +57,99 @@ func Load(root string, patterns ...string) ([]*Package, error) {
 		if len(lp.GoFiles) == 0 {
 			continue
 		}
-		var files []*ast.File
-		for _, name := range lp.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
-			if err != nil {
-				return nil, fmt.Errorf("parse %s: %w", name, err)
-			}
-			files = append(files, f)
-		}
-		pkg, info, err := Check(fset, imp, lp.ImportPath, files)
+		pkg, err := loadOne(fset, imp, lp)
 		if err != nil {
-			return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+			return nil, err
 		}
-		pkgs = append(pkgs, &Package{
-			PkgPath: lp.ImportPath,
-			Dir:     lp.Dir,
-			Fset:    fset,
-			Files:   files,
-			Types:   pkg,
-			Info:    info,
-		})
+		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// loadOne parses and type-checks one listed package under the given
+// FileSet and importer.
+func loadOne(fset *token.FileSet, imp types.Importer, lp listedPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := Check(fset, imp, lp.ImportPath, files)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		PkgPath: lp.ImportPath,
+		Dir:     lp.Dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   pkg,
+		Info:    info,
+	}, nil
+}
+
+// LoadParallel is Load with the parse+typecheck work fanned out over
+// workers goroutines. Loading dominates synclint wall-clock (every
+// import is re-checked from source), so this is where parallelism pays.
+//
+// Neither token.FileSet nor the source importer is safe for concurrent
+// use, so each worker owns a private FileSet and importer and takes a
+// round-robin share of the package list. The price is that packages no
+// longer share one type-checker universe: analyzers must not compare
+// types.Object identity across packages (the field-coverage analyzers
+// key by FieldRef strings for exactly this reason). Results come back in
+// `go list` order — identical to Load — and workers <= 1 just delegates
+// to Load.
+func LoadParallel(root string, workers int, patterns ...string) ([]*Package, error) {
+	if workers <= 1 {
+		return Load(root, patterns...)
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var work []listedPkg
+	for _, lp := range listed {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		work = append(work, lp)
+	}
+	if workers > len(work) {
+		workers = len(work)
+	}
+	results := make([]*Package, len(work))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fset := token.NewFileSet()
+			imp := importer.ForCompiler(fset, "source", nil)
+			for i := w; i < len(work); i += workers {
+				pkg, err := loadOne(fset, imp, work[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				results[i] = pkg
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 // Check type-checks one package's parsed files under the given importer,

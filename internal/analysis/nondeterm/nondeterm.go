@@ -38,8 +38,17 @@ var DefaultGuarded = []string{
 	"hclocksync/internal/scale",
 	"hclocksync/internal/detrand",
 	"hclocksync/internal/checkpoint",
+	"hclocksync/internal/fabric",
+	"hclocksync/internal/stats",
+	"hclocksync/internal/trace",
 	"hclocksync/cmd/...",
 }
+
+// Note on the seed-flow side of the guard set: seedflow has no package
+// guard at all — it checks RNG constructions in every loaded package —
+// so fabric/stats/trace were already covered there and only this list
+// had the gap (fabric grew after the list was frozen in the PR that
+// introduced it).
 
 // forbiddenTimeFuncs are the package-level time functions that read or
 // depend on the host clock.

@@ -6,9 +6,12 @@ package registry
 import (
 	"hclocksync/internal/analysis"
 	"hclocksync/internal/analysis/allocfree"
+	"hclocksync/internal/analysis/cachekey"
+	"hclocksync/internal/analysis/guardedby"
 	"hclocksync/internal/analysis/mpierr"
 	"hclocksync/internal/analysis/nondeterm"
 	"hclocksync/internal/analysis/seedflow"
+	"hclocksync/internal/analysis/snapfields"
 )
 
 // All returns the full analyzer suite in reporting order.
@@ -19,5 +22,8 @@ func All() []*analysis.Analyzer {
 		seedflow.Analyzer,
 		allocfree.Analyzer,
 		mpierr.Analyzer,
+		snapfields.Analyzer,
+		cachekey.Analyzer,
+		guardedby.Analyzer,
 	}
 }

@@ -13,6 +13,10 @@ import (
 // module and demands zero findings. Every escape hatch in the tree is
 // audited with a reasoned //synclint: directive; a new violation, or a
 // typo in one of those directives, fails this test.
+//
+// It also pins the escape budget: the exact number of directives of each
+// name in the tree. Growing an escape count is sometimes right, but it
+// must show up as a reviewed diff here, never as silent drift.
 func TestRepositoryIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-repo type check is slow; skipped in -short mode")
@@ -33,21 +37,50 @@ func TestRepositoryIsClean(t *testing.T) {
 		t.Fatalf("loaded only %d packages; pattern ./... should cover the whole module", len(pkgs))
 	}
 	analyzers := registry.All()
-	if len(analyzers) != 5 {
-		t.Fatalf("registry has %d analyzers, want 5", len(analyzers))
+	if len(analyzers) != 8 {
+		t.Fatalf("registry has %d analyzers, want 8", len(analyzers))
 	}
-	total := 0
-	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, analyzers)
-		if err != nil {
-			t.Fatalf("%s: %v", pkg.PkgPath, err)
-		}
-		for _, d := range diags {
-			t.Errorf("%s", d)
-			total++
+	// The program-level analyzers (snapfields, cachekey) need the whole
+	// package set at once: roots and codecs live in different packages.
+	diags, err := analysis.RunAll(pkgs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("%d finding(s); fix them or add an audited //synclint: directive", len(diags))
+	}
+
+	// Escape budget, by directive name. Update deliberately: each bump is
+	// one more audited hole in an invariant.
+	// Counts cover the loaded (non-test) tree; _test.go files and fixture
+	// testdata are outside the load, so seedok/checked — which today only
+	// appear in fixtures and in diagnostic message text — sit at zero.
+	wantEscapes := map[string]int{
+		analysis.DirAllocfree: 98,
+		analysis.DirAlloc:     30,
+		analysis.DirOrdered:   14,
+		analysis.DirWallclock: 22,
+		analysis.DirSeedok:    0,
+		analysis.DirChecked:   0,
+		analysis.DirSnapshot:  9,
+		analysis.DirNosnap:    0,
+		analysis.DirExeconly:  3,
+		analysis.DirZerokey:   28,
+		analysis.DirGuardedby: 6,
+		analysis.DirUnguarded: 6,
+	}
+	got := analysis.CountDirectives(pkgs)
+	for name, want := range wantEscapes {
+		if got[name] != want {
+			t.Errorf("escape budget: %d //synclint:%s directives in tree, budget is %d — if the new one is justified, update wantEscapes with the review", got[name], name, want)
 		}
 	}
-	if total > 0 {
-		t.Logf("%d finding(s); fix them or add an audited //synclint: directive", total)
+	for name := range got {
+		if _, ok := wantEscapes[name]; !ok {
+			t.Errorf("escape budget: directive //synclint:%s is not in the budget map", name)
+		}
 	}
 }

@@ -1,0 +1,97 @@
+package snapfields
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"hclocksync/internal/analysis"
+	"hclocksync/internal/analysis/analysistest"
+)
+
+func TestSnapfields(t *testing.T) {
+	analysistest.Run(t, Analyzer, "a")
+}
+
+// growableSrc is a fully-wired snapshot package with a hole to grow a
+// field into.
+const growableSrc = `package p
+
+//synclint:snapshot
+type S struct {
+	A int
+%s}
+
+type enc struct{ n int }
+
+func (e *enc) i64(int64) {}
+
+type dec struct{ n int }
+
+func (d *dec) i64() int64 { return 0 }
+
+func encodeS(e *enc, s *S) { e.i64(int64(s.A)) }
+
+func decodeS(d *dec) S { return S{A: int(d.i64())} }
+`
+
+// TestAddedFieldIsFlagged is the regression the analyzer exists for:
+// growing a snapshot struct by one field without touching the codecs
+// must produce diagnostics, and the baseline must stay clean.
+func TestAddedFieldIsFlagged(t *testing.T) {
+	diags := runOnSrc(t, fmt.Sprintf(growableSrc, ""))
+	if len(diags) != 0 {
+		t.Fatalf("baseline not clean: %v", diags)
+	}
+	diags = runOnSrc(t, fmt.Sprintf(growableSrc, "\tB float64\n"))
+	if len(diags) != 2 {
+		t.Fatalf("added field produced %d diagnostics, want 2 (encode and decode): %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "p.S.B") {
+			t.Errorf("diagnostic does not name the field: %s", d.Message)
+		}
+	}
+	if !strings.Contains(diags[0].Message, "decode") || !strings.Contains(diags[1].Message, "encode") {
+		t.Errorf("want one decode-side and one encode-side diagnostic, got: %v", diags)
+	}
+}
+
+// TestSubsetRunStaysSilent pins the no-codec guard: analyzing a package
+// that declares a root but no codecs (the shape of a single-package
+// synclint invocation) must not flag every field.
+func TestSubsetRunStaysSilent(t *testing.T) {
+	diags := runOnSrc(t, `package p
+
+//synclint:snapshot
+type S struct {
+	A int
+	B float64
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("subset run produced diagnostics: %v", diags)
+	}
+}
+
+func runOnSrc(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typesPkg, info, err := analysis.Check(fset, nil, "p", []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &analysis.Package{PkgPath: "p", Fset: fset, Files: []*ast.File{f}, Types: typesPkg, Info: info}
+	diags, err := analysis.RunAll([]*analysis.Package{pkg}, []*analysis.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}

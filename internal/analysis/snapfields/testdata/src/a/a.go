@@ -1,0 +1,79 @@
+// Package a is the snapfields fixture: one annotated state root whose
+// codec pair covers some fields and misses others.
+package a
+
+// State is the snapshot root.
+//
+//synclint:snapshot
+type State struct {
+	Now   float64
+	Seq   uint64
+	World World
+	Skip  int // want `snapshot field a\.State\.Skip is never referenced in an encode\* codec` `snapshot field a\.State\.Skip is never referenced in a decode\* codec`
+
+	//synclint:nosnap -- rebuilt from Config on restore
+	Cache map[string]int
+}
+
+// World is reachable from State, so its fields are obligated too.
+type World struct {
+	Ranks []Rank
+	Half  int // want `snapshot field a\.World\.Half is never referenced in a decode\* codec`
+}
+
+// Rank is reachable through the Ranks slice.
+type Rank struct {
+	ID    int
+	Clock float64
+}
+
+// Plain is not reachable from any root: nothing is obligated.
+type Plain struct {
+	Unwired int
+}
+
+type enc struct{ out []byte }
+
+func (e *enc) f64(float64) {}
+func (e *enc) u64(uint64)  {}
+func (e *enc) i64(int64)   {}
+
+type dec struct{ in []byte }
+
+func (d *dec) f64() float64 { return 0 }
+func (d *dec) u64() uint64  { return 0 }
+func (d *dec) i64() int64   { return 0 }
+
+func encodeState(e *enc, s *State) {
+	e.f64(s.Now)
+	e.u64(s.Seq)
+	encodeWorld(e, &s.World)
+}
+
+func encodeWorld(e *enc, w *World) {
+	e.i64(int64(len(w.Ranks)))
+	for i := range w.Ranks {
+		r := &w.Ranks[i]
+		e.i64(int64(r.ID))
+		e.f64(r.Clock)
+	}
+	e.i64(int64(w.Half)) // encoded but never decoded
+}
+
+func decodeState(d *dec) State {
+	return State{
+		Now:   d.f64(),
+		Seq:   d.u64(),
+		World: decodeWorld(d),
+	}
+}
+
+func decodeWorld(d *dec) World {
+	n := int(d.i64())
+	w := World{Ranks: make([]Rank, n)}
+	for i := range w.Ranks {
+		// Positional literal: both Rank fields count as referenced.
+		w.Ranks[i] = Rank{int(d.i64()), d.f64()}
+	}
+	return w
+}

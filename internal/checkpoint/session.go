@@ -17,6 +17,8 @@ import (
 // quiescent cut, plus the application's own cross-phase payload (for the
 // experiment harnesses: per-rank synchronized-clock models and phase
 // timings, serialized by the experiment that owns them).
+//
+//synclint:snapshot
 type Session struct {
 	// Cut numbers the quiescent cut this snapshot was taken at (1 after the
 	// first phase, and so on) so a resumer knows which phases are done.

@@ -7,6 +7,8 @@ package checkpoint
 // deterministic as a session one.
 
 // Sweep is a sweep checkpoint's content.
+//
+//synclint:snapshot
 type Sweep struct {
 	// Version is the engine's code-version string. A resumer built from
 	// different code ignores the file rather than mix incompatible results.

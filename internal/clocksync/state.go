@@ -12,6 +12,8 @@ import "hclocksync/internal/clock"
 
 // SyncState is the serializable state of one rank's synchronized clock: the
 // drift models from innermost (closest to the hardware clock) to outermost.
+//
+//synclint:snapshot
 type SyncState struct {
 	Models []clock.LinearModel
 }

@@ -34,7 +34,7 @@ type Job struct {
 	// Workers is the kernel dispatch parallelism (mpi.Config.Workers). An
 	// execution knob: excluded from serialization so cache keys — which
 	// embed the job — are identical at any value, as the results are.
-	Workers int `json:"-"`
+	Workers int `json:"-"` //synclint:execonly -- kernel dispatch parallelism; results are byte-identical at any value
 }
 
 // config converts the job to the MPI layer's configuration.

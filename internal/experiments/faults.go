@@ -85,7 +85,7 @@ type faultsTask struct {
 	Run      int
 	// Cut is omitted when false so enabling phased execution leaves the
 	// unphased cache keys untouched.
-	Cut bool `json:",omitempty"`
+	Cut bool `json:",omitempty"` //synclint:zerokey -- false is the unphased run, which is what pre-cut cache keys already name
 }
 
 // RunFaults executes the sweep through the engine, one task per

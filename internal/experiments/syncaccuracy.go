@@ -62,7 +62,7 @@ type syncTask struct {
 	Run      int
 	// Cut is omitted when false so enabling phased execution leaves the
 	// cache keys of every existing unphased result untouched.
-	Cut bool `json:",omitempty"`
+	Cut bool `json:",omitempty"` //synclint:zerokey -- false is the unphased run, which is what pre-cut cache keys already name
 }
 
 // RunSyncAccuracy executes the harness: one engine task per (algorithm,

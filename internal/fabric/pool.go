@@ -187,7 +187,7 @@ type Pool struct {
 	wg     sync.WaitGroup
 
 	mu    sync.Mutex
-	stats Stats
+	stats Stats //synclint:guardedby mu
 }
 
 // NewPool starts cfg.Workers supervisors, each spawning its worker process
@@ -213,7 +213,7 @@ func NewPool(cfg Config) (*Pool, error) {
 		start = processStarter(cfg.Command)
 	}
 	p := &Pool{cfg: cfg, start: start, q: newJobQueue()}
-	p.stats.Workers = cfg.Workers
+	p.stats.Workers = cfg.Workers //synclint:unguarded -- construction: the pool has not been shared with any goroutine yet
 	p.alive.Store(int64(cfg.Workers))
 	for slot := 0; slot < cfg.Workers; slot++ {
 		p.wg.Add(1)
@@ -311,7 +311,7 @@ func (p *Pool) supervise(slot int) {
 		c, err := p.start(slot)
 		if err != nil {
 			p.logf("fabric: worker[%d] spawn failed: %v", slot, err)
-			time.Sleep(spawnRetryDelay)
+			time.Sleep(spawnRetryDelay) //synclint:wallclock -- supervision pacing: spawn retry delay never reaches results, which are pinned byte-identical under the SIGKILL chaos schedule
 			continue
 		}
 		p.bump(func(s *Stats) { s.Spawns++ })
@@ -377,7 +377,7 @@ func (p *Pool) runJob(c conn, j *job) error {
 		p.logf("fabric: migrating %s/%s ledger (cut %d) to a new worker", j.suite, j.task, j.cut)
 	}
 
-	lease := time.NewTimer(p.cfg.LeaseTTL)
+	lease := time.NewTimer(p.cfg.LeaseTTL) //synclint:wallclock -- lease liveness timer: ownership timing affects which worker computes a job, never the job bytes (pinned by the chaos golden)
 	defer lease.Stop()
 	renew := func() {
 		if !lease.Stop() {
@@ -445,7 +445,7 @@ func (p *Pool) retry(j *job, cause error, takeover bool) {
 	p.bump(func(s *Stats) { s.Retries++ })
 	d := backoffDelay(p.cfg.BackoffBase, p.cfg.BackoffMax, p.cfg.JitterSeed, j.suite+"/"+j.task, j.attempts)
 	p.logf("fabric: retrying %s/%s (attempt %d/%d) in %v", j.suite, j.task, j.attempts+1, p.cfg.MaxAttempts, d)
-	time.AfterFunc(d, func() { p.q.push(j) })
+	time.AfterFunc(d, func() { p.q.push(j) }) //synclint:wallclock -- retry backoff pacing: the delay is deterministic, the firing time only schedules work and never reaches results
 }
 
 // jobQueue is an unbounded FIFO with a terminal failure state: after
@@ -454,8 +454,8 @@ func (p *Pool) retry(j *job, cause error, takeover bool) {
 type jobQueue struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
-	items []*job
-	err   error
+	items []*job //synclint:guardedby mu
+	err   error  //synclint:guardedby mu
 }
 
 func newJobQueue() *jobQueue {

@@ -80,7 +80,7 @@ func serveJob(w *frameWriter, hb time.Duration, req JobRequest, exec Executor) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			t := time.NewTicker(hb)
+			t := time.NewTicker(hb) //synclint:wallclock -- heartbeat pacing to the supervisor: liveness telemetry, never reaches results
 			defer t.Stop()
 			for {
 				select {

@@ -44,12 +44,12 @@ type BarrierConfig struct {
 	// crossing a shard boundary use kernel messages instead of shared
 	// slots. Shards shapes the protocol and is part of the configuration
 	// (<= 1 means the legacy all-slots single-shard run).
-	Shards int `json:",omitempty"`
+	Shards int `json:",omitempty"` //synclint:zerokey -- Shards <= 1 is the legacy single-shard run, the experiment old keys name
 	Seed   int64
 	// Workers is the kernel dispatch parallelism. It is an execution knob,
 	// excluded from serialization (and thus from harness cache keys):
 	// results are byte-identical at any value.
-	Workers int `json:"-"`
+	Workers int `json:"-"` //synclint:execonly -- kernel dispatch parallelism; byte-identity at any value is pinned by the scale goldens
 }
 
 // BarrierStats is the deterministic outcome of a barrier run: identical for

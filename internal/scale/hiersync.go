@@ -49,12 +49,12 @@ type HierSyncConfig struct {
 	// straddling a boundary rendezvous by kernel message. Part of the
 	// configuration (<= 1 means the legacy all-slots single-shard run),
 	// though every stat except Events is invariant in it.
-	Shards int `json:",omitempty"`
+	Shards int `json:",omitempty"` //synclint:zerokey -- Shards <= 1 is the legacy single-shard run, the experiment old keys name
 	Seed   int64
 	// Workers is the kernel dispatch parallelism. It is an execution knob,
 	// excluded from serialization (and thus from harness cache keys):
 	// results are byte-identical at any value.
-	Workers int `json:"-"`
+	Workers int `json:"-"` //synclint:execonly -- kernel dispatch parallelism; byte-identity at any value is pinned by the scale goldens
 }
 
 // HierSyncStats is the deterministic outcome of a run. The error fields are

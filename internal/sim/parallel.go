@@ -386,9 +386,9 @@ func (e *Env) RunParallel(cfg ParallelConfig) error {
 		if w.seq > e.seq {
 			e.seq = w.seq
 		}
-		if w.failure != nil && (e.failure == nil || w.failT < e.failT) {
+		if w.failure != nil && (e.failure == nil || w.failT < e.failT) { //synclint:unguarded -- post-join merge: workers are parked at the window barrier, so the coordinator owns the record
 			e.failure = w.failure
-			e.failed = w.failed
+			e.failed = w.failed //synclint:unguarded -- same post-join ownership as the earliest-failure check above
 			e.failT = w.failT
 		}
 	}
@@ -406,7 +406,7 @@ func (e *Env) RunParallel(cfg ParallelConfig) error {
 			e.deposits.push(d)
 		}
 	}
-	if e.failure != nil {
+	if e.failure != nil { //synclint:unguarded -- read after the last window's join: all workers have exited
 		return fmt.Errorf("sim: process %d panicked: %v", e.failed.id, e.failure)
 	}
 	return e.finishRun()

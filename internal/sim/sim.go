@@ -64,10 +64,12 @@ type Env struct {
 	// future-proof; the parallel dispatcher records failures per worker and
 	// merges them deterministically at the window barrier instead (see
 	// parallel.go).
+	// failure is the first panic value recovered from a process, failed the
+	// process that raised it, and failT the virtual time it was recorded.
 	failMu  sync.Mutex
-	failure any // first panic value recovered from a process
-	failed  *Proc
-	failT   float64 // virtual time of the recorded failure
+	failure any     //synclint:guardedby failMu
+	failed  *Proc   //synclint:guardedby failMu
+	failT   float64 //synclint:guardedby failMu
 	// deposits holds in-flight Post messages, interleaved with the event
 	// heap by (t, seq); inboxes is the per-proc FIFO message table, indexed
 	// by proc ID and allocated on first use (see msg.go).
@@ -246,6 +248,7 @@ func (e *Env) schedule(t float64, p *Proc) {
 // Run. It is called by the goroutine that currently holds the baton.
 //synclint:allocfree
 func (e *Env) dispatch() {
+	//synclint:unguarded -- serial dispatch: the baton holder is the only goroutine touching the record outside the recover path
 	for e.failure == nil {
 		// Deposits interleave with events by (t, seq); at equal times a
 		// deposit lands first, so a proc resuming at t always finds every
@@ -303,7 +306,7 @@ func (e *DeadlockError) Error() string {
 func (e *Env) Run() error {
 	e.dispatch()
 	<-e.drained
-	if e.failure != nil {
+	if e.failure != nil { //synclint:unguarded -- read after <-e.drained: the run loop has exited, so every writer is done (happens-before via the channel)
 		return fmt.Errorf("sim: process %d panicked: %v", e.failed.id, e.failure)
 	}
 	return e.finishRun()
